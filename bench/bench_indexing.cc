@@ -1,0 +1,63 @@
+// E13 (extension) — the (1, m) indexing tradeoff (Imielinski et al. [24],
+// the paper's footnote-3 alternative): access latency vs tuning time
+// (energy) as the index replication factor sweeps.
+//
+// Expected shape: without an index, tuning time == latency (the receiver
+// is always on). With an index, tuning time collapses to roughly
+// probe + index + m target slots regardless of replication, while latency
+// traces the classic U-ish curve — few copies mean long dozes to the next
+// index, many copies bloat the period.
+
+#include <cstdio>
+
+#include "bdisk/flat_builder.h"
+#include "bdisk/indexing.h"
+
+namespace {
+
+using namespace bdisk::broadcast;  // NOLINT
+
+BroadcastProgram Base() {
+  std::vector<FlatFileSpec> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back({"F" + std::to_string(i), 6, 9, {}});
+  }
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  if (!p.ok()) std::exit(1);
+  return *p;
+}
+
+}  // namespace
+
+int main() {
+  const BroadcastProgram base = Base();
+  const FileIndex target = 0;
+  constexpr std::uint64_t kIndexSlots = 4;
+
+  std::printf("E13 / (1,m) indexing: latency vs tuning time (file of %u "
+              "blocks, base period %llu, index %llu slots)\n\n",
+              base.files()[target].m,
+              static_cast<unsigned long long>(base.period()),
+              static_cast<unsigned long long>(kIndexSlots));
+
+  auto plain = MeanNonIndexedAccess(base, target);
+  if (!plain.ok()) return 1;
+  std::printf("%-14s %-12s %-12s\n", "index copies", "latency", "tuning");
+  std::printf("%-14s %-12.1f %-12.1f   (receiver always on)\n", "none",
+              plain->latency, plain->tuning_time);
+
+  bool ok = true;
+  for (std::uint32_t replication : {1u, 2u, 4u, 8u, 16u}) {
+    auto indexed = BuildIndexedProgram(base, {replication, kIndexSlots});
+    if (!indexed.ok()) return 1;
+    auto cost = MeanIndexedAccess(*indexed, target);
+    if (!cost.ok()) return 1;
+    std::printf("%-14u %-12.1f %-12.1f\n", replication, cost->latency,
+                cost->tuning_time);
+    ok &= cost->tuning_time < plain->tuning_time / 2;
+  }
+  std::printf("\nshape check (indexing cuts tuning time by > 2x at every "
+              "replication): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#include "algebra/condition.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bdisk::algebra {
+
+std::string PinwheelCondition::ToString() const {
+  std::ostringstream oss;
+  oss << "pc(" << a << ", " << b << ")";
+  return oss.str();
+}
+
+Status BroadcastCondition::Validate() const {
+  if (m == 0) {
+    return Status::InvalidArgument("bc: file size m must be positive");
+  }
+  if (d.empty()) {
+    return Status::InvalidArgument(
+        "bc: latency vector must have at least d^(0)");
+  }
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    if (d[j] < m + j) {
+      return Status::InvalidArgument(
+          ToString() + ": latency d^(" + std::to_string(j) + ") = " +
+          std::to_string(d[j]) + " is below m + j = " +
+          std::to_string(m + j) + "; no schedule can fit that many blocks");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<PinwheelCondition> BroadcastCondition::ToPinwheelConjunct() const {
+  std::vector<PinwheelCondition> out;
+  out.reserve(d.size());
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    out.push_back(PinwheelCondition{m + j, d[j]});
+  }
+  return out;
+}
+
+double BroadcastCondition::DensityLowerBound() const {
+  double best = 0.0;
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    best = std::max(best, static_cast<double>(m + j) /
+                              static_cast<double>(d[j]));
+  }
+  return best;
+}
+
+std::string BroadcastCondition::ToString() const {
+  std::ostringstream oss;
+  oss << "bc(" << m << ", [";
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    if (j > 0) oss << ", ";
+    oss << d[j];
+  }
+  oss << "])";
+  return oss.str();
+}
+
+std::uint64_t GuaranteedCount(const PinwheelCondition& c,
+                              std::uint64_t window) {
+  const std::uint64_t q = window / c.b;
+  const std::uint64_t s = window % c.b;
+  std::uint64_t extra = 0;
+  if (c.a + s > c.b) extra = c.a + s - c.b;  // max(0, a - (b - s))
+  return q * c.a + extra;
+}
+
+std::uint64_t ConjunctGuaranteedCount(
+    const std::vector<PinwheelCondition>& conjunct, std::uint64_t window) {
+  // Candidate enlarged windows: the window itself, plus the window rounded
+  // up to the next multiple of each condition's period.
+  std::vector<std::uint64_t> candidates;
+  candidates.push_back(window);
+  for (const PinwheelCondition& c : conjunct) {
+    const std::uint64_t rounded = ((window + c.b - 1) / c.b) * c.b;
+    if (rounded > window) candidates.push_back(rounded);
+  }
+  std::uint64_t best = 0;
+  for (std::uint64_t enlarged : candidates) {
+    std::uint64_t sum = 0;
+    for (const PinwheelCondition& c : conjunct) {
+      sum += GuaranteedCount(c, enlarged);
+    }
+    const std::uint64_t penalty = enlarged - window;
+    if (sum > penalty) best = std::max(best, sum - penalty);
+  }
+  return best;
+}
+
+bool Implies(const PinwheelCondition& stronger,
+             const PinwheelCondition& weaker) {
+  return ConjunctGuaranteedCount({stronger}, weaker.b) >= weaker.a;
+}
+
+}  // namespace bdisk::algebra

@@ -1,0 +1,106 @@
+/// \file condition.h
+/// \brief Broadcast-file and pinwheel conditions (paper, Section 4.1).
+///
+/// * pc(i, a, b): the schedule gives task i at least `a` of every `b`
+///   consecutive slots (Definition 4).
+/// * bc(i, m, d⃗): the schedule gives file i at least m + j of every d^(j)
+///   consecutive slots, for every fault level j (Definition 3); by Eq. (3)
+///   this is exactly the conjunct ∧_j pc(i, m + j, d^(j)).
+///
+/// Conditions in this module are task-agnostic (the (a, b) payload); the
+/// binding to concrete task ids happens in NiceConjunct / NiceConverter.
+
+#ifndef BDISK_ALGEBRA_CONDITION_H_
+#define BDISK_ALGEBRA_CONDITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bdisk::algebra {
+
+/// \brief The (a, b) payload of a pinwheel condition pc(·, a, b).
+struct PinwheelCondition {
+  /// Required slots per window; a >= 1.
+  std::uint64_t a = 1;
+  /// Window length; b >= a.
+  std::uint64_t b = 1;
+
+  double density() const {
+    return static_cast<double>(a) / static_cast<double>(b);
+  }
+
+  bool operator==(const PinwheelCondition&) const = default;
+
+  /// "pc(a, b)".
+  std::string ToString() const;
+};
+
+/// \brief The (m, d⃗) payload of a broadcast-file condition bc(·, m, d⃗).
+///
+/// d⃗ = [d^(0), d^(1), ..., d^(r)]: with j faults the client must be able to
+/// collect m + j blocks within any window of d^(j) slots (m blocks suffice
+/// to reconstruct; j extra cover the j lost ones).
+struct BroadcastCondition {
+  /// File size in blocks (reconstruction threshold m); m >= 1.
+  std::uint64_t m = 1;
+  /// Latency vector, indexed by fault count j = 0..r.
+  std::vector<std::uint64_t> d;
+
+  /// Number of tolerated faults r (= d.size() - 1).
+  std::uint64_t fault_tolerance() const { return d.empty() ? 0 : d.size() - 1; }
+
+  /// Validates m >= 1, d non-empty, and d^(j) >= m + j for every j (a window
+  /// shorter than m + j slots cannot contain m + j blocks).
+  Status Validate() const;
+
+  /// \brief Eq. (3): the equivalent conjunct of pinwheel conditions
+  /// { (m + j, d^(j)) : j = 0..r }.
+  std::vector<PinwheelCondition> ToPinwheelConjunct() const;
+
+  /// \brief The paper's *density lower bound*: max_j (m + j) / d^(j). No
+  /// nice conjunct implying this bc can have smaller density (each level
+  /// alone forces that density on the file's virtual tasks).
+  double DensityLowerBound() const;
+
+  bool operator==(const BroadcastCondition&) const = default;
+
+  /// "bc(m, [d0, d1, ...])".
+  std::string ToString() const;
+};
+
+/// \brief Sound lower bound on the number of slots any schedule satisfying
+/// `c` provides in *every* window of `window` consecutive slots.
+///
+/// For window = q·b + s (0 <= s < b) the bound is
+///   q·a + max(0, a - (b - s)),
+/// from q disjoint full windows plus the tail of the window ending at the
+/// range's end. Exact when the condition is realized by an evenly spread
+/// residue-class schedule; in general a safe under-estimate.
+std::uint64_t GuaranteedCount(const PinwheelCondition& c, std::uint64_t window);
+
+/// \brief Sound lower bound on the slots a *conjunct* of conditions (on
+/// virtual tasks all mapped to one file) jointly provides in every window of
+/// `window` slots.
+///
+/// Stronger than summing GuaranteedCount: for candidate enlarged windows L'
+/// (window rounded up to a multiple of each condition's b) it also uses
+///   count(window) >= count(L') - (L' - window),
+/// which is exactly the R2-style argument behind the paper's rule R5 — an
+/// enlarged window aligned to full periods can guarantee more than the
+/// original window even after paying one lost slot per slot of enlargement
+/// (Example 4: pc(1,2) ∧ pc(1,10) jointly give 5 slots per 9-window).
+std::uint64_t ConjunctGuaranteedCount(
+    const std::vector<PinwheelCondition>& conjunct, std::uint64_t window);
+
+/// \brief True iff `stronger` provably implies `weaker` via
+/// ConjunctGuaranteedCount (i.e. every schedule satisfying `stronger`
+/// satisfies `weaker`). Conservative: false negatives possible, false
+/// positives not.
+bool Implies(const PinwheelCondition& stronger, const PinwheelCondition& weaker);
+
+}  // namespace bdisk::algebra
+
+#endif  // BDISK_ALGEBRA_CONDITION_H_

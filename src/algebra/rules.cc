@@ -1,0 +1,104 @@
+#include "algebra/rules.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace bdisk::algebra {
+
+Result<PinwheelCondition> RuleR0(const PinwheelCondition& c, std::uint64_t x,
+                                 std::uint64_t y) {
+  if (x >= c.a) {
+    return Status::InvalidArgument("R0: x must be below a (" + c.ToString() +
+                                   ", x=" + std::to_string(x) + ")");
+  }
+  if (c.b > std::numeric_limits<std::uint64_t>::max() - y) {
+    return Status::InvalidArgument("R0: b + y overflows");
+  }
+  return PinwheelCondition{c.a - x, c.b + y};
+}
+
+Result<PinwheelCondition> RuleR1(const PinwheelCondition& c, std::uint64_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("R1: n must be positive");
+  }
+  if (c.b > std::numeric_limits<std::uint64_t>::max() / n) {
+    return Status::InvalidArgument("R1: n * b overflows");
+  }
+  return PinwheelCondition{n * c.a, n * c.b};
+}
+
+Result<PinwheelCondition> RuleR2(const PinwheelCondition& c, std::uint64_t x) {
+  if (x >= c.a) {
+    return Status::InvalidArgument("R2: x must be below a");
+  }
+  return PinwheelCondition{c.a - x, c.b - x};
+}
+
+Result<PinwheelCondition> RuleR4(const PinwheelCondition& base,
+                                 const PinwheelCondition& helper) {
+  if (helper.b < base.b) {
+    return Status::InvalidArgument(
+        "R4: helper window must be at least the base window (" +
+        base.ToString() + " vs " + helper.ToString() + ")");
+  }
+  return PinwheelCondition{base.a + helper.a, helper.b};
+}
+
+Result<PinwheelCondition> RuleR5(const PinwheelCondition& base,
+                                 std::uint64_t n,
+                                 const PinwheelCondition& helper) {
+  BDISK_RETURN_NOT_OK(RuleR1(base, n).status());
+  const std::uint64_t nb = n * base.b;
+  if (helper.b != nb) {
+    return Status::InvalidArgument(
+        "R5: helper window must equal n * b = " + std::to_string(nb) +
+        ", got " + std::to_string(helper.b));
+  }
+  if (helper.a >= nb) {
+    return Status::InvalidArgument("R5: helper requirement x must be below n*b");
+  }
+  return PinwheelCondition{n * base.a, nb - helper.a};
+}
+
+PinwheelCondition RuleR3(const PinwheelCondition& c) {
+  return PinwheelCondition{1, c.b / c.a};
+}
+
+Result<PinwheelCondition> RuleTR1(const BroadcastCondition& bc) {
+  BDISK_RETURN_NOT_OK(bc.Validate());
+  std::uint64_t w = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t j = 0; j < bc.d.size(); ++j) {
+    w = std::min(w, bc.d[j] / (bc.m + j));
+  }
+  if (w == 0) {
+    return Status::Infeasible("TR1: " + bc.ToString() +
+                              " admits no single-unit condition");
+  }
+  return PinwheelCondition{1, w};
+}
+
+std::string MappedConjunct::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) oss << " ∧ ";
+    const MappedCondition& mc = conditions[i];
+    oss << "pc(" << (mc.is_helper ? "i'" : "i") << mc.virtual_task << ", "
+        << mc.condition.a << ", " << mc.condition.b << ")";
+  }
+  return oss.str();
+}
+
+Result<MappedConjunct> RuleTR2(const BroadcastCondition& bc) {
+  BDISK_RETURN_NOT_OK(bc.Validate());
+  MappedConjunct out;
+  out.conditions.push_back(
+      MappedCondition{0, PinwheelCondition{bc.m, bc.d[0]}, false});
+  for (std::size_t j = 1; j < bc.d.size(); ++j) {
+    out.conditions.push_back(MappedCondition{
+        static_cast<std::uint32_t>(j), PinwheelCondition{1, bc.d[j]}, true});
+  }
+  return out;
+}
+
+}  // namespace bdisk::algebra

@@ -1,0 +1,106 @@
+/// \file rules.h
+/// \brief The paper's pinwheel algebra (Figure 8, rules R0-R5) and
+/// transformation rules TR1 / TR2.
+///
+/// Each rule relates a condition on the left (the requirement) to conditions
+/// on the right (what a scheduler is actually asked to satisfy); "LHS ⇐ RHS"
+/// means every broadcast program satisfying the RHS also satisfies the LHS.
+///
+/// Two directions of helper are provided:
+/// * *forward* (derive): given a condition that will be scheduled, derive a
+///   condition it implies (R0, R1, R2, R4, R5) — used by tests and by the
+///   optimizer's bookkeeping;
+/// * *backward* (strengthen): given a requirement, produce a schedulable
+///   condition that implies it (R3, TR1) — used to build candidates.
+///
+/// R4 and R5 introduce *helper* virtual tasks related by map(i', i): the two
+/// task ids are semantically indistinguishable — blocks of file F_i are
+/// broadcast whenever either task is scheduled. The MappedConjunct type
+/// carries that bookkeeping.
+
+#ifndef BDISK_ALGEBRA_RULES_H_
+#define BDISK_ALGEBRA_RULES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/condition.h"
+#include "common/status.h"
+
+namespace bdisk::algebra {
+
+/// \name Forward rules: condition the RHS implies.
+/// @{
+
+/// R0: pc(a - x, b + y) ⇐ pc(a, b). Requires x < a (a result with a = 0 is
+/// vacuous) and no overflow of b + y.
+Result<PinwheelCondition> RuleR0(const PinwheelCondition& c, std::uint64_t x,
+                                 std::uint64_t y);
+
+/// R1: pc(n·a, n·b) ⇐ pc(a, b). Requires n >= 1.
+Result<PinwheelCondition> RuleR1(const PinwheelCondition& c, std::uint64_t n);
+
+/// R2: pc(a - x, b - x) ⇐ pc(a, b). Requires x < a.
+Result<PinwheelCondition> RuleR2(const PinwheelCondition& c, std::uint64_t x);
+
+/// R4: pc(a + x, b + y) ⇐ pc(a, b) ∧ pc(i', x, b + y) ∧ map(i', i).
+/// Returns the implied combined condition given the base and the helper;
+/// the helper's window must equal base.b + y for some y >= 0.
+Result<PinwheelCondition> RuleR4(const PinwheelCondition& base,
+                                 const PinwheelCondition& helper);
+
+/// R5: pc(n·a, n·b - x) ⇐ pc(a, b) ∧ pc(i', x, n·b) ∧ map(i', i).
+/// The helper's window must equal n * base.b, and its requirement x must be
+/// below n·b (so the implied window is positive).
+Result<PinwheelCondition> RuleR5(const PinwheelCondition& base,
+                                 std::uint64_t n,
+                                 const PinwheelCondition& helper);
+
+/// @}
+/// \name Backward rules: schedulable condition implying the requirement.
+/// @{
+
+/// R3: pc(a, b) ⇐ pc(1, floor(b / a)).
+PinwheelCondition RuleR3(const PinwheelCondition& c);
+
+/// TR1: bc(m, d⃗) ⇐ pc(1, min_j floor(d^(j) / (m + j))).
+/// Fails (Infeasible) if the minimum is zero, i.e. some d^(j) < m + j.
+Result<PinwheelCondition> RuleTR1(const BroadcastCondition& bc);
+
+/// @}
+
+/// \brief One pinwheel condition bound to a virtual task, with the original
+/// file task it maps to (map(i', i) bookkeeping).
+struct MappedCondition {
+  /// Dense virtual-task index, unique within a MappedConjunct.
+  std::uint32_t virtual_task = 0;
+  PinwheelCondition condition;
+  /// True for helper tasks introduced by R4/R5/TR2; false for the base.
+  bool is_helper = false;
+};
+
+/// \brief A *nice* conjunct (Definition 1: one condition per virtual task)
+/// implying a single broadcast-file condition.
+struct MappedConjunct {
+  std::vector<MappedCondition> conditions;
+
+  double density() const {
+    double s = 0.0;
+    for (const MappedCondition& mc : conditions) s += mc.condition.density();
+    return s;
+  }
+
+  /// "pc(4,8) ∧ pc'(1,9)" style rendering.
+  std::string ToString() const;
+};
+
+/// TR2: bc(m, d⃗) ⇐ pc(m, d^(0)) ∧ pc(i_1, 1, d^(1)) ∧ ... ∧
+/// pc(i_r, 1, d^(r)), all helpers mapped to the file's task. `bc` must
+/// validate.
+Result<MappedConjunct> RuleTR2(const BroadcastCondition& bc);
+
+}  // namespace bdisk::algebra
+
+#endif  // BDISK_ALGEBRA_RULES_H_

@@ -1,0 +1,67 @@
+/// \file bandwidth.h
+/// \brief Bandwidth planning for regular fault-tolerant real-time Bdisks
+/// (paper, Section 3.2, Equations (1) and (2)).
+///
+/// The trivial lower bound on bandwidth is Σ_i (m_i + r_i) / T_i blocks/sec
+/// (each file alone needs its blocks inside its window). Because the
+/// 7/10-density pinwheel schedulers accept any instance of density <= 7/10,
+///   B = ceil( (10/7) Σ_i (m_i + r_i) / T_i )
+/// is *sufficient* — at most 43% above the lower bound. This module
+/// computes both figures, lowers file sets to pinwheel instances at a given
+/// bandwidth, and searches for the smallest bandwidth a concrete scheduler
+/// actually accepts (usually below the 10/7 bound).
+
+#ifndef BDISK_BDISK_BANDWIDTH_H_
+#define BDISK_BDISK_BANDWIDTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdisk/file_spec.h"
+#include "common/status.h"
+#include "pinwheel/scheduler.h"
+#include "pinwheel/task.h"
+
+namespace bdisk::broadcast {
+
+/// \brief Bandwidth planning results and helpers.
+class BandwidthPlanner {
+ public:
+  /// Density bound assumed achievable by the scheduling algorithm (the
+  /// paper uses Chan & Chin's 7/10).
+  static constexpr double kSchedulableDensity = 0.7;
+
+  /// Σ_i (m_i + r_i) / T_i — no bandwidth below this can work.
+  static Result<double> LowerBound(const std::vector<FileSpec>& files);
+
+  /// Eq. (1)/(2): ceil((10/7) Σ_i (m_i + r_i) / T_i), sufficient for the
+  /// 7/10-density schedulers.
+  static Result<std::uint64_t> SufficientBandwidth(
+      const std::vector<FileSpec>& files);
+
+  /// \brief The pinwheel instance induced at integer bandwidth B:
+  /// task i = (i, m_i + r_i, floor(B * T_i)). Fails if some window cannot
+  /// hold its blocks.
+  static Result<pinwheel::Instance> ToPinwheelInstance(
+      const std::vector<FileSpec>& files,
+      std::uint64_t bandwidth_blocks_per_second);
+
+  /// \brief Smallest integer bandwidth in [lower bound, hi] at which
+  /// `scheduler` produces a (verified) schedule, by binary search; assumes
+  /// the scheduler's success is monotone in bandwidth, which holds for the
+  /// library's schedulers in practice (a final downward scan result is
+  /// still a *valid* bandwidth even if monotonicity is violated —
+  /// the returned schedule is always verified). `hi` defaults to the
+  /// sufficient bandwidth times four.
+  struct MinimalBandwidth {
+    std::uint64_t bandwidth = 0;
+    pinwheel::Schedule schedule;
+  };
+  static Result<MinimalBandwidth> FindMinimalBandwidth(
+      const std::vector<FileSpec>& files, const pinwheel::Scheduler& scheduler,
+      std::uint64_t hi = 0);
+};
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BDISK_BANDWIDTH_H_

@@ -1,0 +1,204 @@
+#include "bdisk/delay_analysis.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bdisk::broadcast {
+
+namespace {
+
+/// One data cycle of a file's transmissions: slots and carried block index.
+struct OccurrenceTable {
+  std::vector<std::uint64_t> slots;         // Within the data cycle.
+  std::vector<std::uint32_t> block_index;   // Parallel to slots.
+  std::uint64_t data_cycle = 0;
+
+  std::uint64_t SlotOf(std::uint64_t stream_index) const {
+    const std::uint64_t c = slots.size();
+    return (stream_index / c) * data_cycle + slots[stream_index % c];
+  }
+  std::uint32_t BlockOf(std::uint64_t stream_index) const {
+    return block_index[stream_index % block_index.size()];
+  }
+};
+
+OccurrenceTable BuildTable(const BroadcastProgram& program, FileIndex file) {
+  OccurrenceTable t;
+  t.data_cycle = program.DataCycleLength();
+  for (std::uint64_t slot = 0; slot < t.data_cycle; ++slot) {
+    const auto tx = program.TransmissionAt(slot);
+    if (tx.has_value() && tx->file == file) {
+      t.slots.push_back(slot);
+      t.block_index.push_back(tx->block_index);
+    }
+  }
+  return t;
+}
+
+/// Exhaustive adversary DP (see header): maximum completion slot for a
+/// client whose stream starts at occurrence `first`, needing `m` distinct
+/// blocks out of `n` rotated ones, against at most `errors` corruptions.
+class AdversaryDp {
+ public:
+  // Horizon: each corruption delays completion by at most n occurrences
+  // (after n further transmissions every block index has reappeared), and
+  // with no errors left the client completes within n occurrences, so
+  // m + (r + 1) * n + 2 transmissions always suffice.
+  AdversaryDp(const OccurrenceTable& table, std::uint32_t m, std::uint32_t n,
+              std::uint64_t first, std::uint32_t errors)
+      : table_(&table), m_(m), n_(n), first_(first),
+        horizon_(m + (static_cast<std::uint64_t>(errors) + 1) * n + 2) {}
+
+  std::uint64_t MaxCompletion(std::uint32_t errors) {
+    return Solve(0, errors, 0);
+  }
+
+ private:
+  struct Key {
+    std::uint64_t k;
+    std::uint32_t e;
+    std::uint32_t mask;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::size_t h = key.k;
+      h = h * 1099511628211ULL ^ key.e;
+      h = h * 1099511628211ULL ^ key.mask;
+      return h;
+    }
+  };
+
+  std::uint64_t Solve(std::uint64_t k, std::uint32_t e, std::uint32_t mask) {
+    BDISK_CHECK(k <= horizon_);
+    const Key key{k, e, mask};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const std::uint32_t block = table_->BlockOf(first_ + k);
+    const std::uint32_t received = mask | (1u << block);
+    std::uint64_t best;
+    if (static_cast<std::uint32_t>(std::popcount(received)) >= m_) {
+      // Receiving completes the retrieval now...
+      best = table_->SlotOf(first_ + k);
+      // ...unless the adversary can afford to corrupt this transmission.
+      if (e > 0) best = std::max(best, Solve(k + 1, e - 1, mask));
+    } else {
+      // Not complete either way; corrupting is pointless here only if it
+      // cannot change the future — explore both options.
+      best = Solve(k + 1, e, received);
+      if (e > 0) best = std::max(best, Solve(k + 1, e - 1, mask));
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  const OccurrenceTable* table_;
+  std::uint32_t m_;
+  std::uint32_t n_;
+  std::uint64_t first_;
+  std::uint64_t horizon_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> memo_;
+};
+
+}  // namespace
+
+Result<std::uint64_t> DelayAnalyzer::WorstCaseCompletion(
+    FileIndex file, std::uint64_t start, std::uint32_t errors,
+    ClientModel model) const {
+  if (file >= program_->file_count()) {
+    return Status::InvalidArgument("DelayAnalyzer: unknown file");
+  }
+  const ProgramFile& pf = program_->files()[file];
+  if (model == ClientModel::kFlat && pf.n != pf.m) {
+    return Status::InvalidArgument(
+        "DelayAnalyzer: flat client model requires n == m (file '" + pf.name +
+        "' rotates " + std::to_string(pf.n) + " blocks)");
+  }
+
+  const OccurrenceTable table = BuildTable(*program_, file);
+  // First stream occurrence at or after `start`.
+  const std::uint64_t cycle_base = (start / table.data_cycle);
+  std::uint64_t first = cycle_base * table.slots.size();
+  const std::uint64_t offset = start % table.data_cycle;
+  {
+    const auto it =
+        std::lower_bound(table.slots.begin(), table.slots.end(), offset);
+    if (it == table.slots.end()) {
+      first += table.slots.size();  // Wraps into the next data cycle.
+    } else {
+      first += static_cast<std::uint64_t>(it - table.slots.begin());
+    }
+  }
+
+  // Fast path: with n >= m + r every m + r consecutive transmissions carry
+  // distinct blocks, so the adversary's best is to corrupt any r of the
+  // first m + r - 1; completion is exactly the (m + r)-th transmission.
+  if (pf.n >= pf.m + errors) {
+    return table.SlotOf(first + pf.m + errors - 1);
+  }
+
+  // Fast path for the flat regime where each block is transmitted exactly
+  // once per period (n == m == transmissions per period): the error-free
+  // client finishes at the m-th transmission, and the adversary's optimum
+  // is to corrupt the last-needed block on each of its next r appearances
+  // — exactly one period each (Lemma 1, tight).
+  if (pf.n == pf.m && program_->CountOf(file) == pf.n) {
+    return table.SlotOf(first + pf.m - 1) + errors * program_->period();
+  }
+
+  if (pf.n > 20) {
+    return Status::ResourceExhausted(
+        "DelayAnalyzer: adversary DP gated at n <= 20 blocks (file '" +
+        pf.name + "' has n = " + std::to_string(pf.n) + ")");
+  }
+  AdversaryDp dp(table, pf.m, pf.n, first, errors);
+  return dp.MaxCompletion(errors);
+}
+
+Result<std::uint64_t> DelayAnalyzer::WorstCaseDelay(FileIndex file,
+                                                    std::uint32_t errors,
+                                                    ClientModel model) const {
+  if (file >= program_->file_count()) {
+    return Status::InvalidArgument("DelayAnalyzer: unknown file");
+  }
+  const OccurrenceTable table = BuildTable(*program_, file);
+  std::uint64_t worst = 0;
+  for (std::size_t j = 0; j < table.slots.size(); ++j) {
+    const std::uint64_t start = table.slots[j];
+    BDISK_ASSIGN_OR_RETURN(std::uint64_t with_errors,
+                           WorstCaseCompletion(file, start, errors, model));
+    BDISK_ASSIGN_OR_RETURN(std::uint64_t without_errors,
+                           WorstCaseCompletion(file, start, 0, model));
+    worst = std::max(worst, with_errors - without_errors);
+  }
+  return worst;
+}
+
+Result<std::uint64_t> DelayAnalyzer::WorstCaseLatency(FileIndex file,
+                                                      std::uint32_t errors,
+                                                      ClientModel model) const {
+  if (file >= program_->file_count()) {
+    return Status::InvalidArgument("DelayAnalyzer: unknown file");
+  }
+  const OccurrenceTable table = BuildTable(*program_, file);
+  std::uint64_t worst = 0;
+  for (std::size_t j = 0; j < table.slots.size(); ++j) {
+    // Worst start aiming at occurrence j: the slot right after the previous
+    // occurrence (the client "just missed" it).
+    const std::uint64_t prev =
+        j == 0 ? table.slots.back() : table.slots[j - 1] + table.data_cycle;
+    // Work one data cycle ahead so starts are non-negative.
+    const std::uint64_t start = prev + 1;
+    BDISK_ASSIGN_OR_RETURN(std::uint64_t completion,
+                           WorstCaseCompletion(file, start, errors, model));
+    worst = std::max(worst, completion - start + 1);
+  }
+  return worst;
+}
+
+}  // namespace bdisk::broadcast

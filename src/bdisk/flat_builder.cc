@@ -1,0 +1,79 @@
+#include "bdisk/flat_builder.h"
+
+#include <algorithm>
+
+namespace bdisk::broadcast {
+
+namespace {
+
+std::vector<FileIndex> ContiguousSlots(const std::vector<FlatFileSpec>& files) {
+  std::vector<FileIndex> slots;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    for (std::uint32_t k = 0; k < files[f].m; ++k) {
+      slots.push_back(static_cast<FileIndex>(f));
+    }
+  }
+  return slots;
+}
+
+/// Proportional interleave by largest accumulated deficit (error diffusion):
+/// at each slot, emit the file whose fair share is furthest ahead of what it
+/// has received. Ties break toward the larger file, then lower index, making
+/// the layout deterministic.
+std::vector<FileIndex> SpreadSlots(const std::vector<FlatFileSpec>& files) {
+  std::uint64_t period = 0;
+  for (const FlatFileSpec& f : files) period += f.m;
+  std::vector<std::uint64_t> emitted(files.size(), 0);
+  std::vector<FileIndex> slots;
+  slots.reserve(period);
+  for (std::uint64_t t = 0; t < period; ++t) {
+    std::size_t pick = files.size();
+    // Deficit of file f after t slots: m_f * (t + 1) - emitted_f * period,
+    // kept in integer arithmetic.
+    std::int64_t best_deficit = 0;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      if (emitted[f] >= files[f].m) continue;
+      const std::int64_t deficit =
+          static_cast<std::int64_t>(files[f].m * (t + 1)) -
+          static_cast<std::int64_t>(emitted[f] * period);
+      if (pick == files.size() || deficit > best_deficit ||
+          (deficit == best_deficit && files[f].m > files[pick].m)) {
+        pick = f;
+        best_deficit = deficit;
+      }
+    }
+    emitted[pick] += 1;
+    slots.push_back(static_cast<FileIndex>(pick));
+  }
+  return slots;
+}
+
+}  // namespace
+
+Result<BroadcastProgram> BuildFlatProgram(const std::vector<FlatFileSpec>& files,
+                                          FlatLayout layout) {
+  if (files.empty()) {
+    return Status::InvalidArgument("BuildFlatProgram: no files");
+  }
+  for (const FlatFileSpec& f : files) {
+    if (f.m == 0) {
+      return Status::InvalidArgument("BuildFlatProgram: file '" + f.name +
+                                     "' has zero size");
+    }
+    if (f.n < f.m) {
+      return Status::InvalidArgument("BuildFlatProgram: file '" + f.name +
+                                     "' has n < m");
+    }
+  }
+  std::vector<FileIndex> slots = layout == FlatLayout::kContiguous
+                                     ? ContiguousSlots(files)
+                                     : SpreadSlots(files);
+  std::vector<ProgramFile> program_files;
+  program_files.reserve(files.size());
+  for (const FlatFileSpec& f : files) {
+    program_files.push_back(ProgramFile{f.name, f.m, f.n, f.latency_slots});
+  }
+  return BroadcastProgram::Create(std::move(program_files), std::move(slots));
+}
+
+}  // namespace bdisk::broadcast

@@ -1,0 +1,54 @@
+/// \file flat_builder.h
+/// \brief Flat broadcast programs — the paper's baselines (Figures 5 and 6).
+///
+/// A *flat* program transmits every file once per broadcast period by
+/// scanning through the files' blocks; there is no frequency assignment.
+/// Two layouts:
+/// * Contiguous — file after file (Figure 5: A1..A5 B1..B3);
+/// * Spread     — blocks interleaved as uniformly as possible (Figure 6),
+///   which minimizes the inter-block gap Delta and hence the AIDA error
+///   recovery delay of Lemma 2.
+/// Orthogonally, the program can rotate dispersed blocks (AIDA, n_i > m_i —
+/// Figure 6's A'1..A'10 across two periods) or transmit the raw blocks
+/// (n_i = m_i — Figure 5).
+
+#ifndef BDISK_BDISK_FLAT_BUILDER_H_
+#define BDISK_BDISK_FLAT_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdisk/program.h"
+#include "common/status.h"
+
+namespace bdisk::broadcast {
+
+/// \brief Block order within a flat period.
+enum class FlatLayout {
+  /// All of file 1's slots, then all of file 2's, ... (Figure 5).
+  kContiguous,
+  /// Slots interleaved proportionally so each file's slots are spread as
+  /// evenly as possible (Figure 6).
+  kSpread,
+};
+
+/// \brief Input to the flat builder: name, per-period slot count m, and the
+/// number of dispersed blocks n to rotate through (n = m disables rotation).
+struct FlatFileSpec {
+  std::string name;
+  /// Blocks needed to reconstruct (slots per period).
+  std::uint32_t m = 1;
+  /// Dispersed blocks to rotate through (>= m).
+  std::uint32_t n = 1;
+  /// Optional latency vector forwarded to the program for verification.
+  std::vector<std::uint64_t> latency_slots;
+};
+
+/// \brief Builds a flat broadcast program. The period is Σ m_i.
+Result<BroadcastProgram> BuildFlatProgram(const std::vector<FlatFileSpec>& files,
+                                          FlatLayout layout);
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BDISK_FLAT_BUILDER_H_

@@ -1,0 +1,152 @@
+#include "bdisk/indexing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bdisk::broadcast {
+
+Result<IndexedProgram> BuildIndexedProgram(const BroadcastProgram& base,
+                                           const IndexingOptions& options) {
+  if (options.replication == 0 || options.index_slots == 0) {
+    return Status::InvalidArgument(
+        "BuildIndexedProgram: replication and index_slots must be positive");
+  }
+  const std::uint64_t base_period = base.period();
+  if (options.replication > base_period) {
+    return Status::InvalidArgument(
+        "BuildIndexedProgram: more index copies than base slots");
+  }
+
+  std::vector<ProgramFile> files = base.files();
+  const auto index_file = static_cast<FileIndex>(files.size());
+  ProgramFile index;
+  index.name = "__index";
+  index.m = static_cast<std::uint32_t>(options.index_slots);
+  index.n = static_cast<std::uint32_t>(options.index_slots);
+  files.push_back(std::move(index));
+
+  // Insert an index segment before base positions floor(r * P / repl).
+  std::vector<FileIndex> slots;
+  slots.reserve(base_period +
+                options.replication * options.index_slots);
+  std::uint32_t next_replica = 0;
+  for (std::uint64_t t = 0; t < base_period; ++t) {
+    while (next_replica < options.replication &&
+           t == (static_cast<std::uint64_t>(next_replica) * base_period) /
+                    options.replication) {
+      for (std::uint64_t k = 0; k < options.index_slots; ++k) {
+        slots.push_back(index_file);
+      }
+      ++next_replica;
+    }
+    slots.push_back(base.slots()[t]);
+  }
+
+  BDISK_ASSIGN_OR_RETURN(
+      BroadcastProgram program,
+      BroadcastProgram::Create(std::move(files), std::move(slots)));
+  return IndexedProgram{std::move(program), index_file, options};
+}
+
+Result<AccessCost> IndexedAccess(const IndexedProgram& indexed,
+                                 FileIndex target, std::uint64_t start) {
+  const BroadcastProgram& p = indexed.program;
+  if (target >= p.file_count() || target == indexed.index_file) {
+    return Status::InvalidArgument("IndexedAccess: bad target file");
+  }
+  AccessCost cost;
+  // 1. Initial probe: one listened slot teaches the offset of the next
+  //    index segment (every block carries it in the (1, m) scheme).
+  cost.tuning_time += 1;
+
+  // 2. Doze until the next *start* of an index segment (index block 0).
+  std::uint64_t t = start;
+  while (true) {
+    const auto tx = p.TransmissionAt(t);
+    if (tx.has_value() && tx->file == indexed.index_file &&
+        tx->block_index == 0) {
+      break;
+    }
+    ++t;
+  }
+  // 3. Read the index segment.
+  cost.tuning_time += indexed.options.index_slots;
+  t += indexed.options.index_slots;
+
+  // 4. Doze; wake only for the target's transmissions until m distinct
+  //    blocks are in hand.
+  const ProgramFile& pf = p.files()[target];
+  std::vector<bool> have(pf.n, false);
+  std::uint32_t distinct = 0;
+  for (;; ++t) {
+    const auto tx = p.TransmissionAt(t);
+    if (!tx.has_value() || tx->file != target) continue;
+    cost.tuning_time += 1;
+    if (!have[tx->block_index]) {
+      have[tx->block_index] = true;
+      ++distinct;
+    }
+    if (distinct >= pf.m) break;
+  }
+  cost.latency = t - start + 1;
+  return cost;
+}
+
+Result<AccessCost> NonIndexedAccess(const BroadcastProgram& program,
+                                    FileIndex target, std::uint64_t start) {
+  if (target >= program.file_count()) {
+    return Status::InvalidArgument("NonIndexedAccess: bad target file");
+  }
+  const ProgramFile& pf = program.files()[target];
+  std::vector<bool> have(pf.n, false);
+  std::uint32_t distinct = 0;
+  std::uint64_t t = start;
+  for (;; ++t) {
+    const auto tx = program.TransmissionAt(t);
+    if (!tx.has_value() || tx->file != target) continue;
+    if (!have[tx->block_index]) {
+      have[tx->block_index] = true;
+      ++distinct;
+    }
+    if (distinct >= pf.m) break;
+  }
+  AccessCost cost;
+  cost.latency = t - start + 1;
+  cost.tuning_time = cost.latency;  // Listening on every slot.
+  return cost;
+}
+
+namespace {
+
+template <typename AccessFn>
+Result<MeanAccessCost> MeanOverStarts(std::uint64_t cycle, AccessFn access) {
+  MeanAccessCost mean;
+  for (std::uint64_t s = 0; s < cycle; ++s) {
+    BDISK_ASSIGN_OR_RETURN(AccessCost cost, access(s));
+    mean.latency += static_cast<double>(cost.latency);
+    mean.tuning_time += static_cast<double>(cost.tuning_time);
+  }
+  mean.latency /= static_cast<double>(cycle);
+  mean.tuning_time /= static_cast<double>(cycle);
+  return mean;
+}
+
+}  // namespace
+
+Result<MeanAccessCost> MeanIndexedAccess(const IndexedProgram& indexed,
+                                         FileIndex target) {
+  return MeanOverStarts(indexed.program.DataCycleLength(),
+                        [&](std::uint64_t s) {
+                          return IndexedAccess(indexed, target, s);
+                        });
+}
+
+Result<MeanAccessCost> MeanNonIndexedAccess(const BroadcastProgram& program,
+                                            FileIndex target) {
+  return MeanOverStarts(program.DataCycleLength(), [&](std::uint64_t s) {
+    return NonIndexedAccess(program, target, s);
+  });
+}
+
+}  // namespace bdisk::broadcast

@@ -1,0 +1,86 @@
+/// \file indexing.h
+/// \brief (1, m) index broadcasting — "energy efficient indexing on air"
+/// (Imielinski, Viswanathan & Badrinath [24]; the paper's footnote 3
+/// discusses broadcasting a directory at the start of each period as the
+/// alternative to self-identifying blocks).
+///
+/// Battery-limited clients care about *tuning time* (slots spent actively
+/// listening) separately from access latency: a dozing receiver burns far
+/// less power. Interleaving `replication` copies of an index segment into
+/// the broadcast lets a client probe one slot, doze to the next index,
+/// read the directory, then doze again until exactly its target's slots.
+///
+/// The classic (1, m) tradeoff: more index copies shorten the doze-to-
+/// index wait but lengthen the period (hurting latency); tuning time is
+/// nearly flat and tiny either way. bench_indexing sweeps the replication
+/// factor.
+
+#ifndef BDISK_BDISK_INDEXING_H_
+#define BDISK_BDISK_INDEXING_H_
+
+#include <cstdint>
+
+#include "bdisk/program.h"
+#include "common/status.h"
+
+namespace bdisk::broadcast {
+
+/// \brief Options for index interleaving.
+struct IndexingOptions {
+  /// Number of index copies per broadcast period (the "m" of (1, m)
+  /// indexing); >= 1.
+  std::uint32_t replication = 1;
+  /// Slots per index copy (directory size in blocks); >= 1.
+  std::uint64_t index_slots = 1;
+};
+
+/// \brief An indexed program: the base program with index segments
+/// interleaved, plus the index's file id.
+struct IndexedProgram {
+  BroadcastProgram program;
+  /// File index of the index pseudo-file ("__index") within `program`.
+  FileIndex index_file = 0;
+  IndexingOptions options;
+};
+
+/// \brief Interleaves `options.replication` index segments, evenly spaced,
+/// into `base`. The index is modeled as an extra file whose m = n =
+/// index_slots blocks are each transmitted once per segment.
+Result<IndexedProgram> BuildIndexedProgram(const BroadcastProgram& base,
+                                           const IndexingOptions& options);
+
+/// \brief Latency and tuning time of one client access (fault-free,
+/// deterministic).
+struct AccessCost {
+  /// Slots from start to retrieval completion, inclusive.
+  std::uint64_t latency = 0;
+  /// Slots spent actively listening (the energy proxy).
+  std::uint64_t tuning_time = 0;
+};
+
+/// \brief Index-guided access: probe one slot, doze to the next index
+/// segment, read it, then listen only on the target file's transmissions
+/// until m distinct blocks are collected.
+Result<AccessCost> IndexedAccess(const IndexedProgram& indexed,
+                                 FileIndex target, std::uint64_t start);
+
+/// \brief Baseline access without an index: the client must listen on
+/// every slot (it cannot know which transmissions are its target's), so
+/// tuning time equals latency.
+Result<AccessCost> NonIndexedAccess(const BroadcastProgram& program,
+                                    FileIndex target, std::uint64_t start);
+
+/// \brief Means of IndexedAccess / NonIndexedAccess over every start slot
+/// in one data cycle.
+struct MeanAccessCost {
+  double latency = 0.0;
+  double tuning_time = 0.0;
+};
+Result<MeanAccessCost> MeanIndexedAccess(const IndexedProgram& indexed,
+                                         FileIndex target);
+Result<MeanAccessCost> MeanNonIndexedAccess(const BroadcastProgram& program,
+                                            FileIndex target);
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BDISK_INDEXING_H_

@@ -1,0 +1,50 @@
+/// \file spec_parser.h
+/// \brief Plain-text workload specification parser for the CLI planner.
+///
+/// Format (one directive per line; '#' starts a comment):
+///
+///   channel 196608                       # channel rate, bytes/sec
+///   blocksize 1024                       # optional; omit to auto-choose
+///   file nav bytes=16384 latency=0.5 faults=1
+///   gfile incidents blocks=2 latencies=12,14,16
+///
+/// `file` lines describe byte-domain files with a single latency (seconds)
+/// and a fault count; `gfile` lines describe slot-domain files with a full
+/// latency vector (slots), the paper's generalized model. A spec uses one
+/// domain or the other, not both.
+
+#ifndef BDISK_BDISK_SPEC_PARSER_H_
+#define BDISK_BDISK_SPEC_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdisk/block_size.h"
+#include "bdisk/file_spec.h"
+#include "common/status.h"
+
+namespace bdisk::broadcast {
+
+/// \brief Parsed workload specification.
+struct WorkloadSpec {
+  /// Channel rate in bytes/sec (0 = unspecified).
+  std::uint64_t channel_bytes_per_second = 0;
+  /// Fixed block size in bytes (0 = auto-choose).
+  std::uint64_t block_size = 0;
+  /// Byte-domain files (`file` lines).
+  std::vector<ByteFileSpec> byte_files;
+  /// Slot-domain generalized files (`gfile` lines).
+  std::vector<GeneralizedFileSpec> generalized_files;
+
+  bool IsByteDomain() const { return !byte_files.empty(); }
+};
+
+/// \brief Parses a whole spec text. Fails with InvalidArgument naming the
+/// offending line on any syntax error, unknown directive, or mixed
+/// domains.
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text);
+
+}  // namespace bdisk::broadcast
+
+#endif  // BDISK_BDISK_SPEC_PARSER_H_

@@ -1,0 +1,39 @@
+/// \file check.h
+/// \brief Internal invariant-checking macros.
+///
+/// BDISK_CHECK aborts on violation in all build types and is reserved for
+/// conditions whose violation would make continuing unsafe. BDISK_DCHECK
+/// compiles away in NDEBUG builds and is used for hot-path invariants.
+
+#ifndef BDISK_COMMON_CHECK_H_
+#define BDISK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bdisk::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[bdisk] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace bdisk::internal
+
+#define BDISK_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::bdisk::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define BDISK_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define BDISK_DCHECK(expr) BDISK_CHECK(expr)
+#endif
+
+#endif  // BDISK_COMMON_CHECK_H_

@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace bdisk {
+
+double RunningStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // At least one observation must be covered, so Quantile(0) is the minimum.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (i + 1 == buckets_.size()) {
+      oss << ">=" << i << ": " << buckets_[i] << "\n";
+    } else {
+      oss << i << ": " << buckets_[i] << "\n";
+    }
+  }
+  return oss.str();
+}
+
+std::uint64_t Gcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t LcmCapped(std::uint64_t a, std::uint64_t b, std::uint64_t cap) {
+  BDISK_CHECK(a > 0 && b > 0);
+  const std::uint64_t g = Gcd(a, b);
+  const std::uint64_t a_div = a / g;
+  if (a_div > cap / b) return cap;
+  return a_div * b;
+}
+
+}  // namespace bdisk

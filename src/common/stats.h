@@ -1,0 +1,115 @@
+/// \file stats.h
+/// \brief Small online-statistics helpers used by the simulator and benches.
+
+#ifndef BDISK_COMMON_STATS_H_
+#define BDISK_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bdisk {
+
+/// \brief Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Number of observations so far.
+  std::uint64_t count() const { return count_; }
+  /// Sum of observations (0 when empty).
+  double sum() const { return sum_; }
+  /// Mean (0 when empty).
+  double mean() const { return mean_; }
+  /// Population variance (0 with < 2 observations).
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  /// Sample standard deviation (0 with < 2 observations).
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-bucket histogram over non-negative integer observations
+/// (e.g. retrieval latencies in slots). Values beyond the last bucket are
+/// counted in an overflow bucket.
+class Histogram {
+ public:
+  /// Creates a histogram with buckets [0, 1, ..., max_value] plus overflow.
+  explicit Histogram(std::size_t max_value) : buckets_(max_value + 2, 0) {}
+
+  /// Records one observation.
+  void Add(std::uint64_t value) {
+    const std::size_t idx =
+        value < buckets_.size() - 1 ? static_cast<std::size_t>(value)
+                                    : buckets_.size() - 1;
+    ++buckets_[idx];
+    ++total_;
+  }
+
+  /// Total number of observations.
+  std::uint64_t total() const { return total_; }
+
+  /// Count recorded in the bucket for `value` (the overflow bucket if the
+  /// value exceeds the configured maximum).
+  std::uint64_t CountAt(std::uint64_t value) const {
+    const std::size_t idx =
+        value < buckets_.size() - 1 ? static_cast<std::size_t>(value)
+                                    : buckets_.size() - 1;
+    return buckets_[idx];
+  }
+
+  /// Count in the overflow bucket.
+  std::uint64_t OverflowCount() const { return buckets_.back(); }
+
+  /// Smallest value v such that at least `q` (in [0,1]) of the observations
+  /// are <= v. Returns 0 on an empty histogram; an answer in the overflow
+  /// bucket reports the first overflow value.
+  std::uint64_t Quantile(double q) const;
+
+  /// Multi-line "value: count" dump of the non-empty buckets.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// \brief Greatest common divisor of two positive integers.
+std::uint64_t Gcd(std::uint64_t a, std::uint64_t b);
+
+/// \brief Least common multiple, saturating at `cap` (default: no overflow
+/// past 2^62; returns cap if the true lcm would exceed it).
+std::uint64_t LcmCapped(std::uint64_t a, std::uint64_t b,
+                        std::uint64_t cap = (1ULL << 62));
+
+}  // namespace bdisk
+
+#endif  // BDISK_COMMON_STATS_H_

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <sstream>
+
+namespace bdisk {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDataLoss:
+      return "Data loss";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code == StatusCode::kOk) {
+    // Misuse: an OK status must carry no message. Degrade to Internal so the
+    // error is not silently swallowed.
+    code = StatusCode::kInternal;
+    message = "Status constructed with kOk and a message: " + message;
+  }
+  state_ = std::make_shared<const State>(State{code, std::move(message)});
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::ostringstream oss;
+  oss << StatusCodeToString(code()) << ": " << message();
+  return oss.str();
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace bdisk

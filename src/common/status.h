@@ -1,0 +1,204 @@
+/// \file status.h
+/// \brief Error handling primitives (Status / Result<T>) for the bdisk library.
+///
+/// The library does not throw exceptions. Fallible operations return a
+/// `bdisk::Status` or a `bdisk::Result<T>` (a Status together with a value on
+/// success), following the Arrow / RocksDB idiom. Use the BDISK_RETURN_NOT_OK
+/// and BDISK_ASSIGN_OR_RETURN macros to propagate errors.
+
+#ifndef BDISK_COMMON_STATUS_H_
+#define BDISK_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bdisk {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (e.g. zero window size).
+  kInvalidArgument = 1,
+  /// The requested object / slot / task does not exist.
+  kNotFound = 2,
+  /// The instance is provably or heuristically unschedulable.
+  kInfeasible = 3,
+  /// An algorithmic capacity was exceeded (e.g. exact-solver state budget).
+  kResourceExhausted = 4,
+  /// Data could not be reconstructed (not enough distinct blocks, bad header).
+  kDataLoss = 5,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal = 6,
+  /// The operation is not implemented for the given inputs.
+  kNotImplemented = 7,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: OK, or a code plus message.
+///
+/// Status is cheap to copy in the OK case (single pointer, no allocation);
+/// error state is heap-allocated and shared.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// StatusCode::kOk (use the default constructor for that).
+  Status(StatusCode code, std::string message);
+
+  /// \name Named constructors, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// @}
+
+  /// True iff this status represents success.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  /// The status code (kOk for an OK status).
+  StatusCode code() const noexcept {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message ("" for an OK status).
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// \name Category predicates.
+  /// @{
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  /// @}
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief A Status, plus a value of type T when the status is OK.
+///
+/// Typical use:
+/// \code
+///   Result<Schedule> r = scheduler.Schedule(tasks);
+///   if (!r.ok()) return r.status();
+///   const Schedule& s = *r;
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT: implicit by design
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() if a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \name Value accessors. Must only be called when ok().
+  /// @{
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value if ok(), otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define BDISK_RETURN_NOT_OK(expr)                        \
+  do {                                                   \
+    ::bdisk::Status _bdisk_status = (expr);              \
+    if (!_bdisk_status.ok()) return _bdisk_status;       \
+  } while (false)
+
+#define BDISK_CONCAT_IMPL(a, b) a##b
+#define BDISK_CONCAT(a, b) BDISK_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define BDISK_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  BDISK_ASSIGN_OR_RETURN_IMPL(BDISK_CONCAT(_bdisk_result_, __LINE__), \
+                              lhs, rexpr)
+
+#define BDISK_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+}  // namespace bdisk
+
+#endif  // BDISK_COMMON_STATUS_H_

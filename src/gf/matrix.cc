@@ -1,0 +1,240 @@
+#include "gf/matrix.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace bdisk::gf {
+
+Result<Matrix> Matrix::FromRowMajor(std::size_t rows, std::size_t cols,
+                                    std::vector<std::uint8_t> data) {
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument("FromRowMajor: data size " +
+                                   std::to_string(data.size()) +
+                                   " != " + std::to_string(rows * cols));
+  }
+  Matrix m(rows, cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.Set(i, i, 1);
+  return m;
+}
+
+Result<Matrix> Matrix::Vandermonde(std::size_t rows, std::size_t cols) {
+  if (rows > 255) {
+    return Status::InvalidArgument(
+        "Vandermonde: at most 255 rows over GF(2^8), got " +
+        std::to_string(rows));
+  }
+  if (cols > rows) {
+    return Status::InvalidArgument("Vandermonde: cols > rows");
+  }
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto x = static_cast<std::uint8_t>(i + 1);  // Distinct, non-zero.
+    std::uint8_t p = 1;
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.Set(i, j, p);
+      p = GF256::Mul(p, x);
+    }
+  }
+  return m;
+}
+
+Result<Matrix> Matrix::Cauchy(std::size_t rows, std::size_t cols) {
+  if (rows + cols > 256) {
+    return Status::InvalidArgument(
+        "Cauchy: rows + cols must be <= 256 over GF(2^8)");
+  }
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      // x_i = i, y_j = rows + j; all 256 values distinct, so x_i + y_j != 0.
+      const std::uint8_t denom = GF256::Add(static_cast<std::uint8_t>(i),
+                                            static_cast<std::uint8_t>(rows + j));
+      m.Set(i, j, GF256::Inv(denom));
+    }
+  }
+  return m;
+}
+
+Result<Matrix> Matrix::SystematicCauchy(std::size_t rows, std::size_t cols) {
+  if (rows < cols) {
+    return Status::InvalidArgument("SystematicCauchy: rows < cols");
+  }
+  const std::size_t parity_rows = rows - cols;
+  if (parity_rows + cols > 256) {
+    return Status::InvalidArgument(
+        "SystematicCauchy: too many rows for GF(2^8)");
+  }
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < cols; ++i) m.Set(i, i, 1);
+  if (parity_rows > 0) {
+    BDISK_ASSIGN_OR_RETURN(Matrix cauchy, Cauchy(parity_rows, cols));
+    for (std::size_t i = 0; i < parity_rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        m.Set(cols + i, j, cauchy.At(i, j));
+      }
+    }
+  }
+  return m;
+}
+
+std::uint8_t Matrix::At(std::size_t r, std::size_t c) const {
+  BDISK_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::Set(std::size_t r, std::size_t c, std::uint8_t v) {
+  BDISK_DCHECK(r < rows_ && c < cols_);
+  data_[r * cols_ + c] = v;
+}
+
+const std::uint8_t* Matrix::RowData(std::size_t r) const {
+  BDISK_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Result<Matrix> Matrix::Mul(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("Matrix::Mul: shape mismatch " +
+                                   std::to_string(cols_) + " vs " +
+                                   std::to_string(other.rows_));
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = At(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.data_[i * other.cols_ + j] = GF256::Add(
+            out.data_[i * other.cols_ + j], GF256::Mul(a, other.At(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Matrix::MulVector(
+    const std::vector<std::uint8_t>& v) const {
+  if (v.size() != cols_) {
+    return Status::InvalidArgument("MulVector: vector size mismatch");
+  }
+  std::vector<std::uint8_t> out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint8_t acc = 0;
+    const std::uint8_t* row = RowData(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      acc = GF256::Add(acc, GF256::Mul(row[j], v[j]));
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::Inverse() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("Inverse: matrix is not square");
+  }
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.At(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return Status::Infeasible("Inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.data_[pivot * n + j], a.data_[col * n + j]);
+        std::swap(inv.data_[pivot * n + j], inv.data_[col * n + j]);
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t p_inv = GF256::Inv(a.At(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.Set(col, j, GF256::Mul(a.At(col, j), p_inv));
+      inv.Set(col, j, GF256::Mul(inv.At(col, j), p_inv));
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a.At(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.Set(r, j, GF256::Add(a.At(r, j), GF256::Mul(f, a.At(col, j))));
+        inv.Set(r, j, GF256::Add(inv.At(r, j), GF256::Mul(f, inv.At(col, j))));
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t Matrix::Rank() const {
+  Matrix a = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a.At(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        std::swap(a.data_[pivot * cols_ + j], a.data_[rank * cols_ + j]);
+      }
+    }
+    const std::uint8_t p_inv = GF256::Inv(a.At(rank, col));
+    for (std::size_t j = 0; j < cols_; ++j) {
+      a.Set(rank, j, GF256::Mul(a.At(rank, j), p_inv));
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const std::uint8_t f = a.At(r, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        a.Set(r, j, GF256::Add(a.At(r, j), GF256::Mul(f, a.At(rank, j))));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Result<Matrix> Matrix::SelectRows(
+    const std::vector<std::size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    if (row_indices[i] >= rows_) {
+      return Status::InvalidArgument("SelectRows: index out of range");
+    }
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.Set(i, j, At(row_indices[i], j));
+    }
+  }
+  return out;
+}
+
+bool Matrix::Equals(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+std::string Matrix::ToString() const {
+  static const char* kHex = "0123456789abcdef";
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::uint8_t v = At(i, j);
+      if (j > 0) oss << ' ';
+      oss << kHex[v >> 4] << kHex[v & 0xF];
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace bdisk::gf

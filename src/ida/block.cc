@@ -1,0 +1,19 @@
+#include "ida/block.h"
+
+#include <sstream>
+
+namespace bdisk::ida {
+
+std::string BlockHeader::ToString() const {
+  std::ostringstream oss;
+  if (file_id == kInvalidFileId) {
+    oss << "file=<none>";
+  } else {
+    oss << "file=" << file_id;
+  }
+  oss << " block=" << block_index << "/" << total_blocks
+      << " (m=" << reconstruct_threshold << ") v" << version;
+  return oss.str();
+}
+
+}  // namespace bdisk::ida

@@ -1,0 +1,58 @@
+/// \file block.h
+/// \brief Self-identifying broadcast blocks (paper, Section 2.1).
+///
+/// "Each block has two identifiers. The first specifies the data item to
+/// which the block belongs (e.g., this is page 3 of object Z). The second
+/// specifies the sequence number of the block relative to all blocks that
+/// make up the data item (e.g., this is block 4 out of 5)."
+///
+/// We carry both identifiers plus the dispersal geometry (m out of N) so a
+/// client can pick the correct inverse transformation without a directory.
+
+#ifndef BDISK_IDA_BLOCK_H_
+#define BDISK_IDA_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdisk::ida {
+
+/// Identifier of a broadcast file (data item). File ids are dense small
+/// integers assigned by the program builder; kInvalidFileId marks "no file".
+using FileId = std::uint32_t;
+constexpr FileId kInvalidFileId = 0xFFFFFFFFu;
+
+/// \brief Header carried by every broadcast block, making it
+/// self-identifying.
+struct BlockHeader {
+  /// Which data item this block belongs to.
+  FileId file_id = kInvalidFileId;
+  /// Index of this block among the N dispersed blocks of the file.
+  std::uint32_t block_index = 0;
+  /// Number of blocks sufficient for reconstruction (m).
+  std::uint32_t reconstruct_threshold = 0;
+  /// Total number of dispersed blocks (N).
+  std::uint32_t total_blocks = 0;
+  /// Version (update generation) of the file this block encodes. Blocks of
+  /// different versions must never be combined during reconstruction: IDA's
+  /// linear combination only inverts against one consistent snapshot.
+  std::uint64_t version = 0;
+
+  bool operator==(const BlockHeader&) const = default;
+
+  /// "file=3 block=4/10 (m=5) v2".
+  std::string ToString() const;
+};
+
+/// \brief One broadcast block: header plus payload bytes.
+struct Block {
+  BlockHeader header;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Block&) const = default;
+};
+
+}  // namespace bdisk::ida
+
+#endif  // BDISK_IDA_BLOCK_H_

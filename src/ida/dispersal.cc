@@ -1,0 +1,163 @@
+#include "ida/dispersal.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bdisk::ida {
+
+Result<Dispersal> Dispersal::Create(std::uint32_t m, std::uint32_t n,
+                                    std::size_t block_size) {
+  if (m == 0) {
+    return Status::InvalidArgument("Dispersal: m must be positive");
+  }
+  if (n < m) {
+    return Status::InvalidArgument("Dispersal: need n >= m, got n=" +
+                                   std::to_string(n) + " m=" +
+                                   std::to_string(m));
+  }
+  if (block_size == 0) {
+    return Status::InvalidArgument("Dispersal: block_size must be positive");
+  }
+  // SystematicCauchy needs (n - m) parity x-points and m + (n - m) y/x values
+  // within GF(2^8): (n - m) + m <= 256.
+  if (n > 256) {
+    return Status::InvalidArgument(
+        "Dispersal: at most 256 dispersed blocks over GF(2^8)");
+  }
+  BDISK_ASSIGN_OR_RETURN(gf::Matrix mat, gf::Matrix::SystematicCauchy(n, m));
+  return Dispersal(m, n, block_size, std::move(mat));
+}
+
+Result<std::vector<Block>> Dispersal::Disperse(
+    FileId file_id, const std::vector<std::uint8_t>& file,
+    std::uint64_t version) const {
+  const std::size_t expected = static_cast<std::size_t>(m_) * block_size_;
+  if (file.size() != expected) {
+    return Status::InvalidArgument(
+        "Disperse: file must be exactly m * block_size = " +
+        std::to_string(expected) + " bytes, got " +
+        std::to_string(file.size()));
+  }
+  std::vector<Block> out(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    out[i].header = BlockHeader{file_id, i, m_, n_, version};
+    out[i].payload.assign(block_size_, 0);
+  }
+  // Dispersed block i, byte k = sum_j M[i][j] * file_block_j[k].
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::uint8_t* row = dispersal_matrix_.RowData(i);
+    std::uint8_t* dst = out[i].payload.data();
+    for (std::uint32_t j = 0; j < m_; ++j) {
+      const std::uint8_t coef = row[j];
+      if (coef == 0) continue;
+      const std::uint8_t* src = file.data() + static_cast<std::size_t>(j) *
+                                                  block_size_;
+      if (coef == 1) {
+        for (std::size_t k = 0; k < block_size_; ++k) dst[k] ^= src[k];
+      } else {
+        for (std::size_t k = 0; k < block_size_; ++k) {
+          dst[k] ^= gf::GF256::Mul(coef, src[k]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
+    const std::vector<Block>& blocks) const {
+  // Collect the first m distinct, valid blocks.
+  std::vector<const Block*> chosen;
+  std::vector<std::size_t> rows;
+  chosen.reserve(m_);
+  rows.reserve(m_);
+  std::vector<bool> seen(n_, false);
+  std::optional<std::uint64_t> version;
+  for (const Block& b : blocks) {
+    if (b.header.reconstruct_threshold != m_ || b.header.total_blocks != n_) {
+      return Status::InvalidArgument(
+          "Reconstruct: block geometry mismatch: " + b.header.ToString());
+    }
+    if (!version.has_value()) {
+      version = b.header.version;
+    } else if (b.header.version != *version) {
+      return Status::InvalidArgument(
+          "Reconstruct: mixed versions (" + std::to_string(*version) +
+          " vs " + std::to_string(b.header.version) +
+          "); blocks of different snapshots cannot be combined");
+    }
+    if (b.header.block_index >= n_) {
+      return Status::InvalidArgument("Reconstruct: block index out of range: " +
+                                     b.header.ToString());
+    }
+    if (b.payload.size() != block_size_) {
+      return Status::InvalidArgument("Reconstruct: payload size mismatch");
+    }
+    if (seen[b.header.block_index]) continue;
+    seen[b.header.block_index] = true;
+    chosen.push_back(&b);
+    rows.push_back(b.header.block_index);
+    if (chosen.size() == m_) break;
+  }
+  if (chosen.size() < m_) {
+    return Status::DataLoss("Reconstruct: need " + std::to_string(m_) +
+                            " distinct blocks, have " +
+                            std::to_string(chosen.size()));
+  }
+
+  // Look up or compute the inverse of the selected rows (sorted key so the
+  // cache is independent of arrival order; we sort the blocks to match).
+  std::vector<std::size_t> order(m_);
+  for (std::size_t i = 0; i < m_; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&rows](std::size_t a, std::size_t b) {
+    return rows[a] < rows[b];
+  });
+  std::vector<std::size_t> sorted_rows(m_);
+  std::vector<const Block*> sorted_blocks(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    sorted_rows[i] = rows[order[i]];
+    sorted_blocks[i] = chosen[order[i]];
+  }
+
+  const gf::Matrix* inverse = nullptr;
+  auto it = inverse_cache_.find(sorted_rows);
+  if (it != inverse_cache_.end()) {
+    inverse = &it->second;
+  } else {
+    BDISK_ASSIGN_OR_RETURN(gf::Matrix square,
+                           dispersal_matrix_.SelectRows(sorted_rows));
+    auto inv_result = square.Inverse();
+    if (!inv_result.ok()) {
+      // Cannot happen with a SystematicCauchy matrix; report as internal.
+      return Status::Internal("Reconstruct: dispersal submatrix singular: " +
+                              inv_result.status().message());
+    }
+    auto [pos, inserted] =
+        inverse_cache_.emplace(sorted_rows, std::move(inv_result).value());
+    BDISK_DCHECK(inserted);
+    inverse = &pos->second;
+  }
+
+  // Original block j, byte k = sum_i Inv[j][i] * received_i[k].
+  std::vector<std::uint8_t> file(static_cast<std::size_t>(m_) * block_size_, 0);
+  for (std::uint32_t j = 0; j < m_; ++j) {
+    std::uint8_t* dst = file.data() + static_cast<std::size_t>(j) * block_size_;
+    const std::uint8_t* inv_row = inverse->RowData(j);
+    for (std::uint32_t i = 0; i < m_; ++i) {
+      const std::uint8_t coef = inv_row[i];
+      if (coef == 0) continue;
+      const std::uint8_t* src = sorted_blocks[i]->payload.data();
+      if (coef == 1) {
+        for (std::size_t k = 0; k < block_size_; ++k) dst[k] ^= src[k];
+      } else {
+        for (std::size_t k = 0; k < block_size_; ++k) {
+          dst[k] ^= gf::GF256::Mul(coef, src[k]);
+        }
+      }
+    }
+  }
+  return file;
+}
+
+}  // namespace bdisk::ida

@@ -1,0 +1,140 @@
+#include "pinwheel/chain_allocator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace bdisk::pinwheel {
+
+std::uint64_t SmallestPrimeFactor(std::uint64_t n) {
+  BDISK_CHECK(n >= 2);
+  if (n % 2 == 0) return 2;
+  for (std::uint64_t p = 3; p * p <= n; p += 2) {
+    if (n % p == 0) return p;
+  }
+  return n;
+}
+
+namespace {
+
+std::uint64_t LargestPrimeFactor(std::uint64_t n) {
+  BDISK_CHECK(n >= 2);
+  std::uint64_t largest = 1;
+  while (n >= 2) {
+    const std::uint64_t p = SmallestPrimeFactor(n);
+    largest = p;
+    while (n % p == 0) n /= p;
+  }
+  return largest;
+}
+
+}  // namespace
+
+Result<std::vector<ClassAssignment>> ChainAllocator::Allocate(
+    std::vector<ClassRequest> requests, AllocationPolicy policy) {
+  for (const ClassRequest& r : requests) {
+    if (r.period == 0 || r.count == 0) {
+      return Status::InvalidArgument(
+          "ChainAllocator: period and count must be positive");
+    }
+  }
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ClassRequest& a, const ClassRequest& b) {
+                     return a.period < b.period;
+                   });
+
+  // Free classes, keyed by period; offsets kept sorted ascending so the
+  // allocation is deterministic.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> free_classes;
+  free_classes[1].push_back(0);
+
+  std::vector<ClassAssignment> out;
+  for (const ClassRequest& req : requests) {
+    for (std::uint64_t unit = 0; unit < req.count; ++unit) {
+      // Pick a free class whose period divides the requested one, per the
+      // policy's fit preference.
+      std::uint64_t chosen_period = 0;
+      if (policy.best_fit) {
+        auto it = free_classes.upper_bound(req.period);
+        while (it != free_classes.begin()) {
+          --it;
+          if (req.period % it->first == 0 && !it->second.empty()) {
+            chosen_period = it->first;
+            break;
+          }
+          if (it == free_classes.begin()) break;
+        }
+      } else {
+        for (auto it = free_classes.begin();
+             it != free_classes.end() && it->first <= req.period; ++it) {
+          if (req.period % it->first == 0 && !it->second.empty()) {
+            chosen_period = it->first;
+            break;
+          }
+        }
+      }
+      if (chosen_period == 0) {
+        return Status::Infeasible(
+            "ChainAllocator: no free residue class divides period " +
+            std::to_string(req.period) + " for task " +
+            std::to_string(req.task));
+      }
+      auto& offsets = free_classes[chosen_period];
+      std::uint64_t offset = offsets.front();
+      offsets.erase(offsets.begin());
+
+      // Split towards the requested period per the policy's factor order,
+      // keeping the first subclass and freeing the siblings.
+      std::uint64_t p = chosen_period;
+      while (p < req.period) {
+        const std::uint64_t remaining = req.period / p;
+        const std::uint64_t f = policy.smallest_prime_first
+                                    ? SmallestPrimeFactor(remaining)
+                                    : LargestPrimeFactor(remaining);
+        for (std::uint64_t k = 1; k < f; ++k) {
+          auto& sib = free_classes[p * f];
+          sib.insert(std::lower_bound(sib.begin(), sib.end(), offset + k * p),
+                     offset + k * p);
+        }
+        p *= f;
+      }
+      out.push_back(ClassAssignment{req.task, offset, req.period});
+    }
+  }
+  return out;
+}
+
+Result<Schedule> ChainAllocator::ToSchedule(
+    const std::vector<ClassAssignment>& assignments, std::uint64_t max_period) {
+  if (assignments.empty()) {
+    return Status::InvalidArgument("ToSchedule: no assignments");
+  }
+  std::uint64_t period = 1;
+  for (const ClassAssignment& a : assignments) {
+    if (a.period == 0 || a.offset >= a.period) {
+      return Status::InvalidArgument("ToSchedule: malformed assignment");
+    }
+    period = LcmCapped(period, a.period, max_period + 1);
+    if (period > max_period) {
+      return Status::ResourceExhausted(
+          "ToSchedule: schedule period exceeds cap " +
+          std::to_string(max_period));
+    }
+  }
+  std::vector<TaskId> cycle(period, Schedule::kIdle);
+  for (const ClassAssignment& a : assignments) {
+    for (std::uint64_t t = a.offset; t < period; t += a.period) {
+      if (cycle[t] != Schedule::kIdle) {
+        return Status::Internal(
+            "ToSchedule: residue classes collide at slot " +
+            std::to_string(t));
+      }
+      cycle[t] = a.task;
+    }
+  }
+  return Schedule::FromCycle(std::move(cycle));
+}
+
+}  // namespace bdisk::pinwheel

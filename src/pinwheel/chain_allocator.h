@@ -1,0 +1,93 @@
+/// \file chain_allocator.h
+/// \brief Residue-class slot allocator for specialized pinwheel instances.
+///
+/// The classic pinwheel schedulers (Holte et al.'s Sa, Chan & Chin's
+/// single- and double-integer reductions) all work by *specializing* window
+/// sizes down to a set of harmonically related values and then assigning
+/// each task a fixed residue class: task i receives every slot congruent to
+/// offset_i modulo period_i. When the chosen periods pairwise divide one
+/// another (a divisibility chain, e.g. {x, 2x, 4x, ...}), the classes nest
+/// like a buddy allocator and an assignment exists whenever the specialized
+/// density is at most 1.
+///
+/// This allocator implements the general form: free classes are split by
+/// prime factors on demand, so it also serves the double-integer style
+/// specializations whose periods are 3-smooth multiples of a base x (where
+/// allocation is best-effort and callers must verify).
+
+#ifndef BDISK_PINWHEEL_CHAIN_ALLOCATOR_H_
+#define BDISK_PINWHEEL_CHAIN_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "pinwheel/schedule.h"
+#include "pinwheel/task.h"
+
+namespace bdisk::pinwheel {
+
+/// \brief A request for `count` residue classes of period `period` on behalf
+/// of one task (count > 1 realizes "a out of every b" by a evenly spread
+/// unit sub-tasks).
+struct ClassRequest {
+  TaskId task = 0;
+  std::uint64_t period = 1;
+  std::uint64_t count = 1;
+};
+
+/// \brief One granted residue class: task occupies slots t with
+/// t ≡ offset (mod period).
+struct ClassAssignment {
+  TaskId task = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t period = 1;
+};
+
+/// \brief Allocation policy knobs. The defaults are optimal for true
+/// divisibility chains; non-chain period sets (e.g. the 3-smooth windows
+/// of the double-integer specialization) can succeed under one variant and
+/// fail under another, so callers handling such sets should try several
+/// (see AllPolicies()).
+struct AllocationPolicy {
+  /// Split a free class toward the requested period by its smallest prime
+  /// factor first (true) or largest first (false). Smallest-first keeps
+  /// maximally flexible small-period siblings free; largest-first keeps
+  /// more large-period siblings.
+  bool smallest_prime_first = true;
+  /// Serve a request from the free class with the largest admissible
+  /// period (true, best fit) or the smallest (false, worst fit).
+  bool best_fit = true;
+
+  /// All four policy variants, default first.
+  static std::vector<AllocationPolicy> AllPolicies() {
+    return {{true, true}, {false, true}, {true, false}, {false, false}};
+  }
+};
+
+/// \brief Buddy-style residue-class allocator.
+class ChainAllocator {
+ public:
+  /// \brief Grants residue classes for all requests, or fails Infeasible.
+  ///
+  /// Requests are served in ascending period order. Success is guaranteed
+  /// when the requested periods form a divisibility chain and the total
+  /// density sum(count / period) is at most 1 (any policy); for non-chain
+  /// periods the allocator is best-effort and policy-sensitive.
+  static Result<std::vector<ClassAssignment>> Allocate(
+      std::vector<ClassRequest> requests, AllocationPolicy policy = {});
+
+  /// \brief Materializes granted classes into a cyclic Schedule whose period
+  /// is the lcm of all class periods. Fails if the lcm exceeds `max_period`
+  /// or if two classes collide (internal error).
+  static Result<Schedule> ToSchedule(
+      const std::vector<ClassAssignment>& assignments,
+      std::uint64_t max_period = (1ULL << 24));
+};
+
+/// \brief Smallest prime factor of n (n >= 2).
+std::uint64_t SmallestPrimeFactor(std::uint64_t n);
+
+}  // namespace bdisk::pinwheel
+
+#endif  // BDISK_PINWHEEL_CHAIN_ALLOCATOR_H_

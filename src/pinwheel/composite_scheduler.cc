@@ -1,0 +1,52 @@
+#include "pinwheel/composite_scheduler.h"
+
+#include "pinwheel/chain_schedulers.h"
+#include "pinwheel/exact_scheduler.h"
+#include "pinwheel/greedy_scheduler.h"
+
+namespace bdisk::pinwheel {
+
+CompositeScheduler::CompositeScheduler(CompositeSchedulerOptions options)
+    : options_(options) {
+  schedulers_.push_back(std::make_unique<SxyScheduler>());
+  schedulers_.push_back(std::make_unique<SxScheduler>());
+  schedulers_.push_back(std::make_unique<SaScheduler>());
+  schedulers_.push_back(std::make_unique<GreedyScheduler>());
+  ExactSchedulerOptions exact_options;
+  exact_options.max_states = options_.exact_max_states;
+  schedulers_.push_back(std::make_unique<ExactScheduler>(exact_options));
+  gate_exact_ = true;
+}
+
+CompositeScheduler::CompositeScheduler(
+    std::vector<std::unique_ptr<Scheduler>> schedulers)
+    : schedulers_(std::move(schedulers)) {}
+
+Result<Schedule> CompositeScheduler::BuildSchedule(
+    const Instance& instance) const {
+  std::string failures;
+  for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+    const auto& s = schedulers_[i];
+    if (gate_exact_ && i + 1 == schedulers_.size()) {
+      // Gate the complete search behind a crude state-space estimate.
+      double bound = 1.0;
+      for (const Task& t : instance.tasks()) {
+        for (std::uint64_t k = 0; k < t.a && bound <= options_.exact_state_bound;
+             ++k) {
+          bound *= static_cast<double>(t.b);
+        }
+        if (bound > options_.exact_state_bound) break;
+      }
+      if (bound > options_.exact_state_bound) break;
+    }
+    Result<Schedule> r = s->BuildSchedule(instance);
+    if (r.ok()) return r;
+    if (r.status().IsInternal()) return r;  // Library bug: surface, don't mask.
+    if (!failures.empty()) failures += "; ";
+    failures += s->name() + ": " + r.status().message();
+  }
+  return Status::Infeasible("Composite: all schedulers failed [" + failures +
+                            "]");
+}
+
+}  // namespace bdisk::pinwheel

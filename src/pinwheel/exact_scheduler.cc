@@ -1,0 +1,217 @@
+#include "pinwheel/exact_scheduler.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bdisk::pinwheel {
+
+namespace {
+
+using State = std::vector<std::uint32_t>;
+
+struct StateHash {
+  std::size_t operator()(const State& v) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (std::uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct SubTask {
+  TaskId parent;
+  std::uint32_t window;
+};
+
+/// DFS frame: the state, and the ordered choices not yet tried.
+struct Frame {
+  State state;
+  std::vector<std::uint32_t> choices;  // Sub-task indices, most urgent first.
+  std::size_t next_choice = 0;
+};
+
+/// Search outcome: the cyclic sequence of sub-task picks, if feasible.
+struct SearchResult {
+  bool feasible = false;
+  bool budget_exhausted = false;
+  std::vector<std::uint32_t> cycle;  // Sub-task indices.
+};
+
+/// Ordered candidate choices from `state`: if any counter is 1 those tasks
+/// are forced (two or more forced tasks -> dead end, empty choice list);
+/// otherwise all sub-tasks, most urgent first. Among sub-tasks identical in
+/// (parent, window), only the most urgent representative is kept (serving a
+/// less urgent clone is dominated).
+std::vector<std::uint32_t> OrderedChoices(const std::vector<SubTask>& subs,
+                                          const State& state) {
+  std::uint32_t forced_count = 0;
+  for (std::uint32_t c : state) {
+    if (c == 1) ++forced_count;
+  }
+  if (forced_count > 1) return {};  // Two deadlines now: unavoidable miss.
+
+  std::vector<std::uint32_t> order;
+  order.reserve(state.size());
+  if (forced_count == 1) {
+    for (std::uint32_t j = 0; j < state.size(); ++j) {
+      if (state[j] == 1) {
+        order.push_back(j);
+        break;
+      }
+    }
+    return order;
+  }
+  for (std::uint32_t j = 0; j < state.size(); ++j) {
+    // Symmetry breaking: skip clones that are not the most urgent of their
+    // (parent, window) group.
+    bool dominated = false;
+    for (std::uint32_t k = 0; k < state.size(); ++k) {
+      if (k == j) continue;
+      if (subs[k].parent == subs[j].parent &&
+          subs[k].window == subs[j].window &&
+          (state[k] < state[j] || (state[k] == state[j] && k < j))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(),
+            [&state](std::uint32_t a, std::uint32_t b) {
+              return state[a] < state[b];
+            });
+  return order;
+}
+
+/// Applies choice `pick` to `state`, or returns nullopt on a deadline miss.
+std::optional<State> Step(const std::vector<SubTask>& subs, const State& state,
+                          std::uint32_t pick) {
+  State next = state;
+  for (std::uint32_t j = 0; j < next.size(); ++j) {
+    if (j == pick) {
+      next[j] = subs[j].window;
+    } else {
+      if (next[j] == 1) return std::nullopt;
+      --next[j];
+    }
+  }
+  return next;
+}
+
+SearchResult Search(const std::vector<SubTask>& subs, std::size_t max_states) {
+  SearchResult result;
+
+  State initial(subs.size());
+  for (std::size_t j = 0; j < subs.size(); ++j) initial[j] = subs[j].window;
+
+  std::unordered_set<State, StateHash> dead;
+  std::unordered_map<State, std::size_t, StateHash> on_path;  // state -> depth
+  std::vector<Frame> stack;
+  std::vector<std::uint32_t> picks;  // picks[d] = choice taken from depth d.
+
+  stack.push_back(Frame{initial, OrderedChoices(subs, initial), 0});
+  on_path.emplace(initial, 0);
+  picks.push_back(0);
+  std::size_t states_seen = 1;
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_choice >= top.choices.size()) {
+      // Exhausted: this state cannot reach a cycle.
+      dead.insert(top.state);
+      on_path.erase(top.state);
+      stack.pop_back();
+      picks.pop_back();
+      continue;
+    }
+    const std::uint32_t pick = top.choices[top.next_choice++];
+    std::optional<State> next = Step(subs, top.state, pick);
+    if (!next.has_value()) continue;
+    picks.back() = pick;
+
+    auto path_it = on_path.find(*next);
+    if (path_it != on_path.end()) {
+      // Cycle: picks from depth path_it->second to the top, inclusive.
+      result.feasible = true;
+      result.cycle.assign(picks.begin() +
+                              static_cast<std::ptrdiff_t>(path_it->second),
+                          picks.end());
+      return result;
+    }
+    if (dead.count(*next) != 0) continue;
+    if (states_seen >= max_states) {
+      result.budget_exhausted = true;
+      return result;
+    }
+    ++states_seen;
+    std::vector<std::uint32_t> choices = OrderedChoices(subs, *next);
+    on_path.emplace(*next, stack.size());
+    stack.push_back(Frame{std::move(*next), std::move(choices), 0});
+    picks.push_back(0);
+  }
+  return result;  // Fully explored, no cycle: infeasible.
+}
+
+// Splits (a, b) into a unit sub-tasks of window b. Lossless: pc(a, b) holds
+// iff the task's slots can be dealt round-robin to a sub-tasks each served
+// once per b-window (consecutive services t_k and t_{k+a} are at most b
+// apart, else the window starting just after t_k holds only a - 1
+// services). The search over the split system is therefore complete for
+// arbitrary instances, not just single-unit ones.
+std::vector<SubTask> SplitToUnits(const Instance& instance) {
+  std::vector<SubTask> subs;
+  for (const Task& t : instance.tasks()) {
+    for (std::uint64_t k = 0; k < t.a; ++k) {
+      subs.push_back(SubTask{t.id, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                                       t.b, UINT32_MAX))});
+    }
+  }
+  return subs;
+}
+
+}  // namespace
+
+Result<Schedule> ExactScheduler::BuildSchedule(const Instance& instance) const {
+  if (instance.empty()) {
+    return Status::InvalidArgument("Exact: empty instance");
+  }
+  const std::vector<SubTask> subs = SplitToUnits(instance);
+
+  SearchResult r = Search(subs, options_.max_states);
+  if (r.budget_exhausted) {
+    return Status::ResourceExhausted(
+        "Exact: state budget (" + std::to_string(options_.max_states) +
+        ") exhausted on " + instance.ToString());
+  }
+  if (!r.feasible) {
+    return Status::Infeasible("Exact: instance is infeasible (proven): " +
+                              instance.ToString());
+  }
+  std::vector<TaskId> cycle;
+  cycle.reserve(r.cycle.size());
+  for (std::uint32_t pick : r.cycle) cycle.push_back(subs[pick].parent);
+  BDISK_ASSIGN_OR_RETURN(Schedule schedule,
+                         Schedule::FromCycle(std::move(cycle)));
+  return VerifyAndReturn(std::move(schedule), instance, name());
+}
+
+Result<bool> ExactScheduler::IsFeasible(const Instance& instance) const {
+  if (instance.empty()) {
+    return Status::InvalidArgument("Exact: empty instance");
+  }
+  const std::vector<SubTask> subs = SplitToUnits(instance);
+  SearchResult r = Search(subs, options_.max_states);
+  if (r.budget_exhausted) {
+    return Status::ResourceExhausted("Exact: state budget exhausted");
+  }
+  return r.feasible;
+}
+
+}  // namespace bdisk::pinwheel

@@ -1,0 +1,18 @@
+#include "pinwheel/scheduler.h"
+
+#include "pinwheel/verifier.h"
+
+namespace bdisk::pinwheel {
+
+Result<Schedule> Scheduler::VerifyAndReturn(Schedule schedule,
+                                            const Instance& instance,
+                                            const std::string& scheduler_name) {
+  Status st = Verifier::Verify(schedule, instance);
+  if (!st.ok()) {
+    return Status::Internal(scheduler_name +
+                            " produced an invalid schedule: " + st.message());
+  }
+  return schedule;
+}
+
+}  // namespace bdisk::pinwheel

@@ -1,0 +1,72 @@
+#include "pinwheel/specialization.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bdisk::pinwheel {
+
+std::uint64_t LargestPowerOfTwoAtMost(std::uint64_t b) {
+  BDISK_CHECK(b >= 1);
+  std::uint64_t p = 1;
+  while (p <= b / 2) p *= 2;
+  return p;
+}
+
+std::optional<std::uint64_t> LargestChainValueAtMost(std::uint64_t x,
+                                                     std::uint64_t b) {
+  BDISK_CHECK(x >= 1);
+  if (x > b) return std::nullopt;
+  std::uint64_t v = x;
+  while (v <= b / 2) v *= 2;
+  return v;
+}
+
+std::optional<std::uint64_t> LargestSmoothValueAtMost(std::uint64_t x,
+                                                      std::uint64_t b) {
+  BDISK_CHECK(x >= 1);
+  if (x > b) return std::nullopt;
+  std::uint64_t best = x;
+  // Enumerate x * 3^k, then double as far as possible; b / x bounds k by
+  // log3, so the loop is tiny.
+  for (std::uint64_t base = x; base <= b; base *= 3) {
+    std::uint64_t v = base;
+    while (v <= b / 2) v *= 2;
+    best = std::max(best, v);
+    if (base > b / 3) break;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> ChainBaseCandidates(
+    const std::vector<std::uint64_t>& windows) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t b : windows) {
+    for (std::uint64_t v = b; v >= 1; v /= 2) {
+      out.push_back(v);
+      if (v == 1) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> SmoothBaseCandidates(
+    const std::vector<std::uint64_t>& windows) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t b : windows) {
+    for (std::uint64_t pow3 = 1; pow3 <= b; pow3 *= 3) {
+      for (std::uint64_t v = b / pow3; v >= 1; v /= 2) {
+        out.push_back(v);
+        if (v == 1) break;
+      }
+      if (pow3 > b / 3) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace bdisk::pinwheel

@@ -1,0 +1,53 @@
+/// \file specialization.h
+/// \brief Window-size specialization helpers shared by the chain-based
+/// schedulers (Holte et al. [19]; Chan & Chin [12, 13]).
+///
+/// *Specializing* a window b means replacing it by a smaller window b' <= b
+/// drawn from a structured set; by rule R0 of the paper's pinwheel algebra,
+/// any schedule for the specialized instance also satisfies the original.
+/// The structured sets used here:
+///
+/// * powers of two {2^j}                      — scheduler Sa,
+/// * a single geometric chain {x * 2^j}       — scheduler Sx,
+/// * 3-smooth multiples of a base {x 2^j 3^k} — scheduler Sxy
+///   (our reconstruction of the double-integer reduction idea).
+
+#ifndef BDISK_PINWHEEL_SPECIALIZATION_H_
+#define BDISK_PINWHEEL_SPECIALIZATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bdisk::pinwheel {
+
+/// Largest power of two <= b (b >= 1).
+std::uint64_t LargestPowerOfTwoAtMost(std::uint64_t b);
+
+/// Largest value of the form x * 2^j (j >= 0) that is <= b, or nullopt if
+/// x > b. Requires x >= 1.
+std::optional<std::uint64_t> LargestChainValueAtMost(std::uint64_t x,
+                                                     std::uint64_t b);
+
+/// Largest value of the form x * 2^j * 3^k (j, k >= 0) that is <= b, or
+/// nullopt if x > b. Requires x >= 1.
+std::optional<std::uint64_t> LargestSmoothValueAtMost(std::uint64_t x,
+                                                      std::uint64_t b);
+
+/// \brief Candidate bases x for chain specialization of the given windows:
+/// every value floor(b_i / 2^j) down to 1, deduplicated and sorted.
+///
+/// The optimal base for the {x * 2^j} specialization of a finite window set
+/// is always of this form (lowering x between two candidates changes no
+/// specialized window).
+std::vector<std::uint64_t> ChainBaseCandidates(
+    const std::vector<std::uint64_t>& windows);
+
+/// \brief Candidate bases for the 3-smooth specialization: every value
+/// floor(b_i / (2^j 3^k)), deduplicated and sorted.
+std::vector<std::uint64_t> SmoothBaseCandidates(
+    const std::vector<std::uint64_t>& windows);
+
+}  // namespace bdisk::pinwheel
+
+#endif  // BDISK_PINWHEEL_SPECIALIZATION_H_

@@ -1,0 +1,91 @@
+#include "pinwheel/verifier.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace bdisk::pinwheel {
+
+std::string ConditionCheck::ToString() const {
+  std::ostringstream oss;
+  oss << "pc(" << task << ", " << a << ", " << b << "): min window count "
+      << min_count << " at start " << worst_start << " => "
+      << (satisfied ? "satisfied" : "VIOLATED");
+  return oss.str();
+}
+
+std::uint64_t Verifier::MinWindowCount(const Schedule& schedule, TaskId id,
+                                       std::uint64_t window,
+                                       std::uint64_t* worst_start) {
+  BDISK_CHECK(window > 0);
+  const std::uint64_t period = schedule.period();
+  const std::vector<TaskId>& cycle = schedule.slots();
+
+  // Per-period occurrence count.
+  std::uint64_t per_period = 0;
+  for (TaskId s : cycle) {
+    if (s == id) ++per_period;
+  }
+
+  const std::uint64_t full_cycles = window / period;
+  const std::uint64_t rem = window % period;
+  const std::uint64_t base = full_cycles * per_period;
+
+  if (rem == 0) {
+    if (worst_start != nullptr) *worst_start = 0;
+    return base;
+  }
+
+  // Count occurrences in windows of length `rem` over the doubled cycle.
+  // prefix[t] = occurrences in cycle positions [0, t).
+  std::vector<std::uint64_t> prefix(2 * period + 1, 0);
+  for (std::uint64_t t = 0; t < 2 * period; ++t) {
+    prefix[t + 1] = prefix[t] + (cycle[t % period] == id ? 1 : 0);
+  }
+
+  std::uint64_t best = UINT64_MAX;
+  std::uint64_t best_start = 0;
+  for (std::uint64_t s = 0; s < period; ++s) {
+    const std::uint64_t c = prefix[s + rem] - prefix[s];
+    if (c < best) {
+      best = c;
+      best_start = s;
+    }
+  }
+  if (worst_start != nullptr) *worst_start = best_start;
+  return base + best;
+}
+
+ConditionCheck Verifier::CheckCondition(const Schedule& schedule, TaskId id,
+                                        std::uint64_t a, std::uint64_t b) {
+  ConditionCheck check;
+  check.task = id;
+  check.a = a;
+  check.b = b;
+  check.min_count = MinWindowCount(schedule, id, b, &check.worst_start);
+  check.satisfied = check.min_count >= a;
+  return check;
+}
+
+Status Verifier::Verify(const Schedule& schedule, const Instance& instance) {
+  for (const Task& t : instance.tasks()) {
+    const ConditionCheck check = CheckCondition(schedule, t.id, t.a, t.b);
+    if (!check.satisfied) {
+      return Status::Infeasible("Schedule violates " + check.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ConditionCheck> Verifier::CheckAll(const Schedule& schedule,
+                                               const Instance& instance) {
+  std::vector<ConditionCheck> out;
+  out.reserve(instance.size());
+  for (const Task& t : instance.tasks()) {
+    out.push_back(CheckCondition(schedule, t.id, t.a, t.b));
+  }
+  return out;
+}
+
+}  // namespace bdisk::pinwheel

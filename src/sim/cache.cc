@@ -1,0 +1,109 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bdisk::sim {
+
+bool ClientCache::Lookup(broadcast::FileIndex file) {
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return false;
+  // Refresh recency.
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(file);
+  it->second.lru_it = lru_.begin();
+  return true;
+}
+
+void ClientCache::Insert(broadcast::FileIndex file, double access_probability,
+                         double broadcast_frequency) {
+  if (capacity_ == 0) return;
+  if (entries_.count(file) != 0) return;
+  const double score = broadcast_frequency > 0.0
+                           ? access_probability / broadcast_frequency
+                           : access_probability;
+  if (entries_.size() >= capacity_) {
+    if (policy_ == CachePolicy::kPix) {
+      // Admission control: a newcomer worth less than every cached item
+      // must not displace one.
+      double min_cached = 0.0;
+      bool first = true;
+      for (const auto& [cached, entry] : entries_) {
+        if (first || entry.pix_score < min_cached) {
+          min_cached = entry.pix_score;
+          first = false;
+        }
+      }
+      if (score < min_cached) return;
+    }
+    EvictOne();
+  }
+  lru_.push_front(file);
+  Entry entry;
+  entry.lru_it = lru_.begin();
+  entry.pix_score = score;
+  entries_.emplace(file, entry);
+}
+
+void ClientCache::EvictOne() {
+  BDISK_CHECK(!entries_.empty());
+  broadcast::FileIndex victim;
+  if (policy_ == CachePolicy::kLru) {
+    victim = lru_.back();
+  } else {
+    // PIX: smallest p/x; ties broken toward least recently used (scan the
+    // LRU list back to front).
+    double best = 0.0;
+    bool first = true;
+    victim = lru_.back();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const double score = entries_.at(*it).pix_score;
+      if (first || score < best) {
+        best = score;
+        victim = *it;
+        first = false;
+      }
+    }
+  }
+  auto it = entries_.find(victim);
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+std::vector<broadcast::FileIndex> ClientCache::Contents() const {
+  std::vector<broadcast::FileIndex> out;
+  out.reserve(entries_.size());
+  for (const auto& [file, entry] : entries_) out.push_back(file);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta) {
+  BDISK_CHECK(n > 0);
+  probs_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs_[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    norm += probs_[i];
+  }
+  cumulative_.resize(n);
+  double running = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs_[i] /= norm;
+    running += probs_[i];
+    cumulative_[i] = running;
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::Sample(double u) const {
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(probs_.size()) - 1));
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,96 @@
+/// \file cache.h
+/// \brief Client-side caching for broadcast disks (Acharya et al. [1] —
+/// "client cache management", cited in the paper's Section 1).
+///
+/// A broadcast-disk client caches items to avoid waiting for them to "go
+/// by" again. The classic result is that pure access-probability policies
+/// (LRU and friends) are wrong for broadcast media: the right currency is
+/// cost * benefit, i.e. access probability *relative to broadcast
+/// frequency* — an item broadcast rarely is expensive to miss. PIX evicts
+/// the cached item with the smallest p / x (access probability over
+/// broadcast frequency).
+///
+/// The cache is item-granular (a client either holds a reconstructed file
+/// or not), matching this library's retrieval model.
+
+#ifndef BDISK_SIM_CACHE_H_
+#define BDISK_SIM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "bdisk/program.h"
+#include "common/status.h"
+
+namespace bdisk::sim {
+
+/// \brief Cache replacement policy.
+enum class CachePolicy {
+  /// Evict the least recently used item.
+  kLru,
+  /// Evict the item with the smallest access-probability / broadcast-
+  /// frequency ratio (the broadcast-disk-aware policy).
+  kPix,
+};
+
+/// \brief Fixed-capacity item cache with pluggable replacement policy.
+class ClientCache {
+ public:
+  /// \param capacity  maximum number of cached items (0 = caching off).
+  /// \param policy    replacement policy.
+  ClientCache(std::size_t capacity, CachePolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// True iff `file` is cached; refreshes recency on a hit.
+  bool Lookup(broadcast::FileIndex file);
+
+  /// Inserts `file` after a miss-retrieval. `access_probability` and
+  /// `broadcast_frequency` feed the PIX score (ignored under LRU).
+  /// Evicts per policy when full. No-op if capacity is 0 or the item is
+  /// already cached.
+  void Insert(broadcast::FileIndex file, double access_probability,
+              double broadcast_frequency);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Cached file indices (unordered; for tests/diagnostics).
+  std::vector<broadcast::FileIndex> Contents() const;
+
+ private:
+  struct Entry {
+    double pix_score = 0.0;
+    // Position in lru_ (most recent at front).
+    std::list<broadcast::FileIndex>::iterator lru_it;
+  };
+
+  void EvictOne();
+
+  std::size_t capacity_;
+  CachePolicy policy_;
+  std::unordered_map<broadcast::FileIndex, Entry> entries_;
+  std::list<broadcast::FileIndex> lru_;
+};
+
+/// \brief Zipf(theta) access distribution over `n` items: item i has
+/// probability proportional to 1 / (i + 1)^theta.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double theta);
+
+  /// Access probability of item i.
+  double ProbabilityOf(std::size_t i) const { return probs_[i]; }
+
+  /// Samples an item given a uniform double u in [0, 1).
+  std::size_t Sample(double u) const;
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_CACHE_H_

@@ -1,0 +1,80 @@
+#include "sim/client.h"
+
+#include "common/check.h"
+
+namespace bdisk::sim {
+
+ReconstructingClient::ReconstructingClient(ida::FileId file, std::uint32_t m,
+                                           std::uint32_t n,
+                                           std::size_t block_size)
+    : file_(file), m_(m), n_(n),
+      engine_([&] {
+        auto e = ida::Dispersal::Create(m, n, block_size);
+        BDISK_CHECK(e.ok());
+        return std::move(*e);
+      }()),
+      have_(n, false) {
+  buffer_.reserve(m);
+}
+
+bool ReconstructingClient::Offer(const ida::Block& block) {
+  if (block.header.file_id != file_) return false;
+  if (block.header.reconstruct_threshold != m_ ||
+      block.header.total_blocks != n_ || block.header.block_index >= n_) {
+    return false;  // Malformed or stale header; ignore.
+  }
+  if (CanReconstruct()) return true;
+  if (have_[block.header.block_index]) return false;
+  have_[block.header.block_index] = true;
+  ++distinct_;
+  buffer_.push_back(block);
+  return CanReconstruct();
+}
+
+Result<std::vector<std::uint8_t>> ReconstructingClient::Reconstruct() const {
+  if (!CanReconstruct()) {
+    return Status::DataLoss("ReconstructingClient: only " +
+                            std::to_string(distinct_) + " of " +
+                            std::to_string(m_) + " blocks collected");
+  }
+  return engine_.Reconstruct(buffer_);
+}
+
+void ReconstructingClient::Clear() {
+  have_.assign(n_, false);
+  distinct_ = 0;
+  buffer_.clear();
+}
+
+Result<SessionResult> RunRetrievalSession(const BroadcastServer& server,
+                                          FaultModel* faults,
+                                          broadcast::FileIndex file,
+                                          std::uint64_t start_slot,
+                                          std::uint64_t horizon) {
+  if (file >= server.program().file_count()) {
+    return Status::InvalidArgument("RunRetrievalSession: unknown file");
+  }
+  const broadcast::ProgramFile& pf = server.program().files()[file];
+  ReconstructingClient client(static_cast<ida::FileId>(file), pf.m, pf.n,
+                              server.block_size());
+  faults->Reset();
+  SessionResult result;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    const bool lost = faults->Corrupts(t);
+    if (t < start_slot) continue;  // Channel state still advances.
+    const auto block = server.TransmissionAt(t);
+    if (!block.has_value() || lost) continue;
+    if (client.Offer(*block)) {
+      result.completed = true;
+      result.completion_slot = t;
+      result.latency = t - start_slot + 1;
+      break;
+    }
+  }
+  if (result.completed) {
+    BDISK_ASSIGN_OR_RETURN(result.data, client.Reconstruct());
+  }
+  return result;
+}
+
+}  // namespace bdisk::sim

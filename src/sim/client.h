@@ -1,0 +1,79 @@
+/// \file client.h
+/// \brief Byte-level client: collects self-identifying coded blocks off the
+/// broadcast channel and reconstructs the file with IDA.
+///
+/// Mirrors the paper's client model: no uplink, bounded buffer (it keeps at
+/// most m blocks — IDA needs no more), blocks identified purely by their
+/// headers ("this is block 4 out of 10 of object Z").
+
+#ifndef BDISK_SIM_CLIENT_H_
+#define BDISK_SIM_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ida/block.h"
+#include "ida/dispersal.h"
+#include "sim/fault_model.h"
+#include "sim/server.h"
+
+namespace bdisk::sim {
+
+/// \brief Incremental block collector + reconstructor for one file.
+class ReconstructingClient {
+ public:
+  /// \param file        the file (program index / ida::FileId) to retrieve.
+  /// \param m           reconstruction threshold.
+  /// \param n           total dispersed blocks (for header validation).
+  /// \param block_size  payload bytes per block.
+  ReconstructingClient(ida::FileId file, std::uint32_t m, std::uint32_t n,
+                       std::size_t block_size);
+
+  /// Offers a received block (any file; non-matching blocks are ignored).
+  /// Returns true iff the client now has enough blocks to reconstruct.
+  bool Offer(const ida::Block& block);
+
+  /// True iff m distinct blocks have been collected.
+  bool CanReconstruct() const { return distinct_ >= m_; }
+
+  /// Number of distinct blocks collected so far.
+  std::uint32_t distinct_blocks() const { return distinct_; }
+
+  /// Reconstructs the file. Fails with DataLoss before CanReconstruct().
+  Result<std::vector<std::uint8_t>> Reconstruct() const;
+
+  /// Drops all collected blocks (for reuse).
+  void Clear();
+
+ private:
+  ida::FileId file_;
+  std::uint32_t m_;
+  std::uint32_t n_;
+  ida::Dispersal engine_;
+  std::vector<bool> have_;
+  std::uint32_t distinct_ = 0;
+  std::vector<ida::Block> buffer_;
+};
+
+/// \brief Outcome of a byte-level retrieval session.
+struct SessionResult {
+  bool completed = false;
+  std::uint64_t completion_slot = 0;
+  std::uint64_t latency = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// \brief Runs a full retrieval session: from `start_slot`, listen to
+/// `server` through `faults` (replayed from slot 0 so realizations match
+/// the index-level simulator) until the file is reconstructable or
+/// `horizon` is reached, then reconstruct.
+Result<SessionResult> RunRetrievalSession(const BroadcastServer& server,
+                                          FaultModel* faults,
+                                          broadcast::FileIndex file,
+                                          std::uint64_t start_slot,
+                                          std::uint64_t horizon);
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_CLIENT_H_

@@ -1,0 +1,13 @@
+#include "sim/fault_model.h"
+
+namespace bdisk::sim {
+
+double GilbertElliottFaultModel::StationaryLossRate() const {
+  const double to_bad = params_.p_good_to_bad;
+  const double to_good = params_.p_bad_to_good;
+  if (to_bad + to_good <= 0.0) return params_.loss_good;
+  const double pi_bad = to_bad / (to_bad + to_good);
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,123 @@
+/// \file fault_model.h
+/// \brief Channel fault models for the broadcast-disk simulator.
+///
+/// The paper's broadcast medium model: "individual transmission errors occur
+/// independently of each other, and the occurrence of an error during the
+/// transmission of a block renders the entire block unreadable"
+/// (Section 3.2). BernoulliFaultModel implements exactly that; the
+/// Gilbert-Elliott model adds the bursty losses typical of the wireless
+/// links the paper targets; SlotSetFaultModel injects deterministic faults
+/// for tests and worst-case experiments.
+///
+/// A model is sampled once per slot, in increasing slot order, via
+/// Corrupts(slot); stateful models (Gilbert-Elliott) advance their channel
+/// state on each call.
+
+#ifndef BDISK_SIM_FAULT_MODEL_H_
+#define BDISK_SIM_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace bdisk::sim {
+
+/// \brief Per-slot transmission corruption decision.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// True iff the transmission in `slot` is corrupted. Must be called with
+  /// non-decreasing slot numbers.
+  virtual bool Corrupts(std::uint64_t slot) = 0;
+
+  /// Resets internal state (and reseeds stochastic models deterministically)
+  /// so a fresh channel realization can be generated.
+  virtual void Reset() = 0;
+};
+
+/// \brief The fault-free channel.
+class NoFaultModel final : public FaultModel {
+ public:
+  bool Corrupts(std::uint64_t) override { return false; }
+  void Reset() override {}
+};
+
+/// \brief Independent per-slot losses with probability p (paper's model).
+class BernoulliFaultModel final : public FaultModel {
+ public:
+  BernoulliFaultModel(double loss_probability, std::uint64_t seed)
+      : p_(loss_probability), seed_(seed), rng_(seed) {}
+
+  bool Corrupts(std::uint64_t) override { return rng_.Bernoulli(p_); }
+  void Reset() override { rng_.Seed(seed_); }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// \brief Two-state bursty channel (Gilbert-Elliott).
+///
+/// The channel is in a Good or Bad state; each slot it loses the block with
+/// that state's probability, then transitions. Default loss probabilities
+/// (0 good / 1 bad) give the classic Gilbert model.
+class GilbertElliottFaultModel final : public FaultModel {
+ public:
+  struct Params {
+    /// P(Good -> Bad) per slot.
+    double p_good_to_bad = 0.01;
+    /// P(Bad -> Good) per slot.
+    double p_bad_to_good = 0.25;
+    /// Loss probability while Good.
+    double loss_good = 0.0;
+    /// Loss probability while Bad.
+    double loss_bad = 1.0;
+  };
+
+  GilbertElliottFaultModel(const Params& params, std::uint64_t seed)
+      : params_(params), seed_(seed), rng_(seed) {}
+
+  bool Corrupts(std::uint64_t) override {
+    const bool lost = rng_.Bernoulli(bad_ ? params_.loss_bad
+                                          : params_.loss_good);
+    bad_ = bad_ ? !rng_.Bernoulli(params_.p_bad_to_good)
+                : rng_.Bernoulli(params_.p_good_to_bad);
+    return lost;
+  }
+
+  void Reset() override {
+    rng_.Seed(seed_);
+    bad_ = false;
+  }
+
+  /// Stationary loss probability of the configured chain.
+  double StationaryLossRate() const;
+
+ private:
+  Params params_;
+  std::uint64_t seed_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+/// \brief Deterministic fault injection: exactly the listed slots are lost.
+class SlotSetFaultModel final : public FaultModel {
+ public:
+  explicit SlotSetFaultModel(std::unordered_set<std::uint64_t> slots)
+      : slots_(std::move(slots)) {}
+
+  bool Corrupts(std::uint64_t slot) override {
+    return slots_.count(slot) != 0;
+  }
+  void Reset() override {}
+
+ private:
+  std::unordered_set<std::uint64_t> slots_;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_FAULT_MODEL_H_

@@ -1,0 +1,55 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace bdisk::sim {
+
+std::uint64_t SimulationMetrics::TotalAttempts() const {
+  std::uint64_t total = 0;
+  for (const FileMetrics& f : per_file) total += f.attempts();
+  return total;
+}
+
+double SimulationMetrics::OverallMissRate() const {
+  std::uint64_t attempts = 0;
+  std::uint64_t misses = 0;
+  for (const FileMetrics& f : per_file) {
+    attempts += f.attempts();
+    misses += f.missed_deadline + f.incomplete;
+  }
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(misses) / static_cast<double>(attempts);
+}
+
+double SimulationMetrics::OverallMeanLatency() const {
+  RunningStats all;
+  for (const FileMetrics& f : per_file) all.Merge(f.latency);
+  return all.mean();
+}
+
+double SimulationMetrics::OverallMaxLatency() const {
+  double worst = 0.0;
+  for (const FileMetrics& f : per_file) {
+    if (f.latency.count() > 0) worst = std::max(worst, f.latency.max());
+  }
+  return worst;
+}
+
+std::string SimulationMetrics::ToString() const {
+  std::ostringstream oss;
+  oss << std::left << std::setw(20) << "file" << std::right << std::setw(10)
+      << "attempts" << std::setw(12) << "mean_lat" << std::setw(10)
+      << "max_lat" << std::setw(11) << "miss_rate" << "\n";
+  for (const FileMetrics& f : per_file) {
+    oss << std::left << std::setw(20) << f.file_name << std::right
+        << std::setw(10) << f.attempts() << std::setw(12) << std::fixed
+        << std::setprecision(2) << f.latency.mean() << std::setw(10)
+        << std::setprecision(0) << f.latency.max() << std::setw(11)
+        << std::setprecision(4) << f.MissRate() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,61 @@
+/// \file metrics.h
+/// \brief Aggregated results of a broadcast-disk simulation run.
+
+#ifndef BDISK_SIM_METRICS_H_
+#define BDISK_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace bdisk::sim {
+
+/// \brief Per-file retrieval statistics.
+struct FileMetrics {
+  std::string file_name;
+  /// Latency (slots, start to completion inclusive) of completed retrievals.
+  RunningStats latency;
+  /// Completed within the simulation horizon.
+  std::uint64_t completed = 0;
+  /// Completed but after the deadline.
+  std::uint64_t missed_deadline = 0;
+  /// Still incomplete when the horizon ended (counted as deadline misses in
+  /// MissRate()).
+  std::uint64_t incomplete = 0;
+  /// Corrupted transmissions of this file observed by its clients.
+  std::uint64_t errors_observed = 0;
+
+  std::uint64_t attempts() const { return completed + incomplete; }
+
+  /// Fraction of attempts that missed their deadline (incomplete counts as
+  /// a miss).
+  double MissRate() const {
+    const std::uint64_t a = attempts();
+    if (a == 0) return 0.0;
+    return static_cast<double>(missed_deadline + incomplete) /
+           static_cast<double>(a);
+  }
+};
+
+/// \brief Whole-run statistics.
+struct SimulationMetrics {
+  std::vector<FileMetrics> per_file;
+
+  /// Attempts across all files.
+  std::uint64_t TotalAttempts() const;
+  /// Deadline-miss rate across all files.
+  double OverallMissRate() const;
+  /// Mean latency across all completed retrievals.
+  double OverallMeanLatency() const;
+  /// Max latency across all completed retrievals.
+  double OverallMaxLatency() const;
+
+  /// Table rendering, one line per file.
+  std::string ToString() const;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_METRICS_H_

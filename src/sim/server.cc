@@ -1,0 +1,38 @@
+#include "sim/server.h"
+
+namespace bdisk::sim {
+
+Result<BroadcastServer> BroadcastServer::Create(
+    broadcast::BroadcastProgram program,
+    const std::vector<std::vector<std::uint8_t>>& contents,
+    std::size_t block_size) {
+  if (contents.size() != program.file_count()) {
+    return Status::InvalidArgument(
+        "BroadcastServer: need contents for all " +
+        std::to_string(program.file_count()) + " files, got " +
+        std::to_string(contents.size()));
+  }
+  BroadcastServer server(std::move(program), block_size);
+  for (broadcast::FileIndex f = 0; f < server.program_.file_count(); ++f) {
+    const broadcast::ProgramFile& pf = server.program_.files()[f];
+    BDISK_ASSIGN_OR_RETURN(ida::Dispersal engine,
+                           ida::Dispersal::Create(pf.m, pf.n, block_size));
+    auto blocks = engine.Disperse(static_cast<ida::FileId>(f), contents[f]);
+    if (!blocks.ok()) {
+      return blocks.status().WithContext("BroadcastServer: file '" + pf.name +
+                                         "'");
+    }
+    server.engines_.push_back(std::move(engine));
+    server.coded_.push_back(std::move(*blocks));
+  }
+  return server;
+}
+
+std::optional<ida::Block> BroadcastServer::TransmissionAt(
+    std::uint64_t t) const {
+  const auto tx = program_.TransmissionAt(t);
+  if (!tx.has_value()) return std::nullopt;
+  return coded_[tx->file][tx->block_index];
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,157 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace bdisk::sim {
+
+Simulator::Simulator(const broadcast::BroadcastProgram& program,
+                     FaultModel* faults, std::uint64_t horizon)
+    : program_(&program) {
+  BDISK_CHECK(faults != nullptr);
+  faults->Reset();
+  corrupted_.resize(horizon);
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    corrupted_[t] = faults->Corrupts(t);
+  }
+}
+
+Result<RetrievalOutcome> Simulator::Retrieve(
+    const ClientRequest& request) const {
+  if (request.file >= program_->file_count()) {
+    return Status::InvalidArgument("Simulator: unknown file index " +
+                                   std::to_string(request.file));
+  }
+  if (request.start_slot >= corrupted_.size()) {
+    return Status::InvalidArgument("Simulator: start beyond horizon");
+  }
+  const broadcast::ProgramFile& pf = program_->files()[request.file];
+  if (request.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
+    return Status::InvalidArgument(
+        "Simulator: flat client model requires n == m for file '" + pf.name +
+        "'");
+  }
+
+  RetrievalOutcome outcome;
+  // Distinct-block tracker; n can exceed 64, so use a byte vector.
+  std::vector<bool> have(pf.n, false);
+  std::uint32_t distinct = 0;
+  for (std::uint64_t t = request.start_slot; t < corrupted_.size(); ++t) {
+    const auto tx = program_->TransmissionAt(t);
+    if (!tx.has_value() || tx->file != request.file) continue;
+    if (corrupted_[t]) {
+      ++outcome.errors_observed;
+      continue;
+    }
+    if (!have[tx->block_index]) {
+      have[tx->block_index] = true;
+      ++distinct;
+    }
+    if (distinct >= pf.m) {
+      outcome.completed = true;
+      outcome.completion_slot = t;
+      outcome.latency = t - request.start_slot + 1;
+      break;
+    }
+  }
+  if (outcome.completed && request.deadline_slots > 0) {
+    outcome.met_deadline = outcome.latency <= request.deadline_slots;
+  } else if (!outcome.completed) {
+    outcome.met_deadline = request.deadline_slots == 0;
+  }
+  return outcome;
+}
+
+Result<RetrievalOutcome> Simulator::RetrieveTransaction(
+    const TransactionRequest& request) const {
+  if (request.files.empty()) {
+    return Status::InvalidArgument("RetrieveTransaction: no files");
+  }
+  RetrievalOutcome combined;
+  combined.completed = true;
+  combined.completion_slot = 0;
+  for (broadcast::FileIndex f : request.files) {
+    ClientRequest single;
+    single.file = f;
+    single.start_slot = request.start_slot;
+    single.deadline_slots = 0;  // Judged jointly below.
+    single.model = request.model;
+    BDISK_ASSIGN_OR_RETURN(RetrievalOutcome outcome, Retrieve(single));
+    combined.errors_observed += outcome.errors_observed;
+    if (!outcome.completed) {
+      combined.completed = false;
+    } else if (outcome.completion_slot > combined.completion_slot) {
+      combined.completion_slot = outcome.completion_slot;
+    }
+  }
+  if (combined.completed) {
+    combined.latency = combined.completion_slot - request.start_slot + 1;
+    combined.met_deadline = request.deadline_slots == 0 ||
+                            combined.latency <= request.deadline_slots;
+  } else {
+    combined.completion_slot = 0;
+    combined.met_deadline = request.deadline_slots == 0;
+  }
+  return combined;
+}
+
+Result<SimulationMetrics> Simulator::RunWorkload(
+    const WorkloadConfig& config) const {
+  SimulationMetrics metrics;
+  metrics.per_file.resize(program_->file_count());
+  Rng rng(config.seed);
+
+  for (broadcast::FileIndex f = 0; f < program_->file_count(); ++f) {
+    const broadcast::ProgramFile& pf = program_->files()[f];
+    FileMetrics& fm = metrics.per_file[f];
+    fm.file_name = pf.name;
+
+    std::uint64_t deadline = 0;
+    if (f < config.deadline_slots.size() && config.deadline_slots[f] != 0) {
+      deadline = config.deadline_slots[f];
+    } else if (!pf.latency_slots.empty()) {
+      deadline = pf.latency_slots.front();
+    }
+
+    // Leave room at the end of the horizon so retrievals are not cut off
+    // artificially: a generous tail of several periods plus the deadline.
+    const std::uint64_t tail =
+        std::max<std::uint64_t>(deadline, 4 * program_->DataCycleLength());
+    if (corrupted_.size() <= tail) {
+      return Status::InvalidArgument(
+          "Simulator: horizon too small for workload (need > " +
+          std::to_string(tail) + " slots)");
+    }
+    const std::uint64_t start_range = corrupted_.size() - tail;
+
+    for (std::uint64_t k = 0; k < config.requests_per_file; ++k) {
+      ClientRequest req;
+      req.file = f;
+      req.start_slot = rng.Uniform(start_range);
+      req.deadline_slots = deadline;
+      req.model = config.model;
+      BDISK_ASSIGN_OR_RETURN(RetrievalOutcome outcome, Retrieve(req));
+      if (outcome.completed) {
+        ++fm.completed;
+        fm.latency.Add(static_cast<double>(outcome.latency));
+        if (!outcome.met_deadline) ++fm.missed_deadline;
+      } else {
+        ++fm.incomplete;
+      }
+      fm.errors_observed += outcome.errors_observed;
+    }
+  }
+  return metrics;
+}
+
+std::uint64_t Simulator::CorruptedSlotCount() const {
+  std::uint64_t n = 0;
+  for (bool c : corrupted_) {
+    if (c) ++n;
+  }
+  return n;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,126 @@
+#include "sim/versioned.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace bdisk::sim {
+
+Result<VersionedBroadcastServer> VersionedBroadcastServer::Create(
+    broadcast::BroadcastProgram program, VersionedServerOptions options) {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument(
+        "VersionedBroadcastServer: block_size must be positive");
+  }
+  if (options.update_interval_slots.size() != program.file_count()) {
+    return Status::InvalidArgument(
+        "VersionedBroadcastServer: need one update interval per file (" +
+        std::to_string(program.file_count()) + "), got " +
+        std::to_string(options.update_interval_slots.size()));
+  }
+  VersionedBroadcastServer server(std::move(program), std::move(options));
+  for (broadcast::FileIndex f = 0; f < server.program_.file_count(); ++f) {
+    const broadcast::ProgramFile& pf = server.program_.files()[f];
+    BDISK_ASSIGN_OR_RETURN(
+        ida::Dispersal engine,
+        ida::Dispersal::Create(pf.m, pf.n, server.options_.block_size));
+    server.engines_.push_back(std::move(engine));
+  }
+  return server;
+}
+
+std::uint64_t VersionedBroadcastServer::VersionAt(broadcast::FileIndex file,
+                                                  std::uint64_t slot) const {
+  BDISK_CHECK(file < program_.file_count());
+  const std::uint64_t interval = options_.update_interval_slots[file];
+  return interval == 0 ? 0 : slot / interval;
+}
+
+std::uint64_t VersionedBroadcastServer::VersionStartSlot(
+    broadcast::FileIndex file, std::uint64_t version) const {
+  const std::uint64_t interval = options_.update_interval_slots[file];
+  return interval == 0 ? 0 : version * interval;
+}
+
+std::vector<std::uint8_t> VersionedBroadcastServer::ContentsOf(
+    broadcast::FileIndex file, std::uint64_t version) const {
+  BDISK_CHECK(file < program_.file_count());
+  const broadcast::ProgramFile& pf = program_.files()[file];
+  // Deterministic synthetic snapshot: seeded by (seed, file, version).
+  Rng rng(options_.content_seed * 0x9E3779B97F4A7C15ULL + file * 1000003ULL +
+          version);
+  std::vector<std::uint8_t> data(pf.m * options_.block_size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Uniform(256));
+  return data;
+}
+
+Result<std::optional<ida::Block>> VersionedBroadcastServer::TransmissionAt(
+    std::uint64_t slot) const {
+  const auto tx = program_.TransmissionAt(slot);
+  if (!tx.has_value()) return std::optional<ida::Block>();
+  const std::uint64_t version = VersionAt(tx->file, slot);
+  const auto key = std::make_pair(tx->file, version);
+  auto it = coded_.find(key);
+  if (it == coded_.end()) {
+    BDISK_ASSIGN_OR_RETURN(
+        std::vector<ida::Block> blocks,
+        engines_[tx->file].Disperse(static_cast<ida::FileId>(tx->file),
+                                    ContentsOf(tx->file, version), version));
+    it = coded_.emplace(key, std::move(blocks)).first;
+  }
+  return std::optional<ida::Block>(it->second[tx->block_index]);
+}
+
+Result<VersionedSessionResult> RunVersionedRetrieval(
+    const VersionedBroadcastServer& server, FaultModel* faults,
+    broadcast::FileIndex file, std::uint64_t start, std::uint64_t horizon) {
+  if (file >= server.program().file_count()) {
+    return Status::InvalidArgument("RunVersionedRetrieval: unknown file");
+  }
+  const broadcast::ProgramFile& pf = server.program().files()[file];
+  faults->Reset();
+
+  VersionedSessionResult result;
+  std::uint64_t current_version = 0;
+  std::vector<ida::Block> collected;
+  std::vector<bool> have(pf.n, false);
+
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    const bool lost = faults->Corrupts(t);
+    if (t < start) continue;  // Channel state still advances.
+    BDISK_ASSIGN_OR_RETURN(std::optional<ida::Block> block,
+                           server.TransmissionAt(t));
+    if (!block.has_value() || lost) continue;
+    if (block->header.file_id != file) continue;
+
+    if (collected.empty() || block->header.version > current_version) {
+      // Fresh start (first block, or a newer snapshot invalidates ours).
+      if (!collected.empty()) ++result.restarts;
+      current_version = block->header.version;
+      collected.clear();
+      have.assign(pf.n, false);
+    } else if (block->header.version < current_version) {
+      continue;  // Stale straggler; cannot be combined.
+    }
+    if (have[block->header.block_index]) continue;
+    have[block->header.block_index] = true;
+    collected.push_back(*block);
+    if (collected.size() == pf.m) {
+      result.completed = true;
+      result.completion_slot = t;
+      result.latency = t - start + 1;
+      result.version = current_version;
+      result.data_age =
+          t - server.VersionStartSlot(file, current_version) + 1;
+      break;
+    }
+  }
+  if (result.completed) {
+    auto engine =
+        ida::Dispersal::Create(pf.m, pf.n, server.block_size());
+    BDISK_RETURN_NOT_OK(engine.status());
+    BDISK_ASSIGN_OR_RETURN(result.data, engine->Reconstruct(collected));
+  }
+  return result;
+}
+
+}  // namespace bdisk::sim

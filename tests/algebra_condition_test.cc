@@ -1,0 +1,160 @@
+// Unit tests for pinwheel/broadcast conditions and the guaranteed-count
+// bounds.
+
+#include "algebra/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "pinwheel/schedule.h"
+#include "pinwheel/verifier.h"
+
+namespace bdisk::algebra {
+namespace {
+
+TEST(PinwheelConditionTest, DensityAndToString) {
+  PinwheelCondition c{2, 5};
+  EXPECT_DOUBLE_EQ(c.density(), 0.4);
+  EXPECT_EQ(c.ToString(), "pc(2, 5)");
+}
+
+TEST(BroadcastConditionTest, ValidateHappyPath) {
+  BroadcastCondition bc{2, {5, 6, 7}};
+  EXPECT_TRUE(bc.Validate().ok());
+  EXPECT_EQ(bc.fault_tolerance(), 2u);
+}
+
+TEST(BroadcastConditionTest, ValidateRejectsZeroSize) {
+  BroadcastCondition bc{0, {5}};
+  EXPECT_TRUE(bc.Validate().IsInvalidArgument());
+}
+
+TEST(BroadcastConditionTest, ValidateRejectsEmptyVector) {
+  BroadcastCondition bc{2, {}};
+  EXPECT_TRUE(bc.Validate().IsInvalidArgument());
+}
+
+TEST(BroadcastConditionTest, ValidateRejectsTightLatency) {
+  // d^(1) = 2 cannot hold m + 1 = 3 blocks.
+  BroadcastCondition bc{2, {5, 2}};
+  EXPECT_TRUE(bc.Validate().IsInvalidArgument());
+}
+
+TEST(BroadcastConditionTest, ToPinwheelConjunctIsEq3) {
+  BroadcastCondition bc{2, {5, 6, 6}};
+  const auto conjunct = bc.ToPinwheelConjunct();
+  ASSERT_EQ(conjunct.size(), 3u);
+  EXPECT_EQ(conjunct[0], (PinwheelCondition{2, 5}));
+  EXPECT_EQ(conjunct[1], (PinwheelCondition{3, 6}));
+  EXPECT_EQ(conjunct[2], (PinwheelCondition{4, 6}));
+}
+
+TEST(BroadcastConditionTest, DensityLowerBound) {
+  // Example 2: bc(5, [100, 105, 110, 115, 120]) -> max = 9/120 = 0.075.
+  BroadcastCondition bc{5, {100, 105, 110, 115, 120}};
+  EXPECT_NEAR(bc.DensityLowerBound(), 0.075, 1e-12);
+  // Example 3: bc(6, [105, 110]) -> max(6/105, 7/110) = 0.0636...
+  BroadcastCondition bc3{6, {105, 110}};
+  EXPECT_NEAR(bc3.DensityLowerBound(), 7.0 / 110.0, 1e-12);
+  // Example 4: bc(4, [8, 9]) -> max(0.5, 5/9) = 0.5556.
+  BroadcastCondition bc4{4, {8, 9}};
+  EXPECT_NEAR(bc4.DensityLowerBound(), 5.0 / 9.0, 1e-12);
+}
+
+TEST(BroadcastConditionTest, ToStringFormat) {
+  BroadcastCondition bc{2, {5, 6}};
+  EXPECT_EQ(bc.ToString(), "bc(2, [5, 6])");
+}
+
+TEST(GuaranteedCountTest, ExactMultiples) {
+  // pc(2, 5): windows of 10 guarantee 4, of 15 guarantee 6.
+  EXPECT_EQ(GuaranteedCount({2, 5}, 10), 4u);
+  EXPECT_EQ(GuaranteedCount({2, 5}, 15), 6u);
+}
+
+TEST(GuaranteedCountTest, PartialWindows) {
+  // pc(1, 2) in window 9: 4 full windows + tail 1: 4 + max(0, 1-1) = 4.
+  EXPECT_EQ(GuaranteedCount({1, 2}, 9), 4u);
+  // pc(2, 3) in window 2: 0 full + max(0, 2 - (3-2)) = 1.
+  EXPECT_EQ(GuaranteedCount({2, 3}, 2), 1u);
+  // pc(3, 3) in window 7: 2*3 + max(0, 3-(3-1)) = 7 (every slot).
+  EXPECT_EQ(GuaranteedCount({3, 3}, 7), 7u);
+}
+
+TEST(GuaranteedCountTest, SmallWindow) {
+  EXPECT_EQ(GuaranteedCount({1, 10}, 5), 0u);
+  EXPECT_EQ(GuaranteedCount({9, 10}, 5), 4u);  // max(0, 9 - (10-5)) = 4.
+}
+
+// The bound must be sound: for residue-class schedules realizing pc(a, b),
+// every window of every length contains at least the bound.
+TEST(GuaranteedCountTest, SoundAgainstConcreteSchedules) {
+  // Schedule: task 1 at slots {0, 2} of period 5 => satisfies pc(2, 5).
+  auto s = pinwheel::Schedule::FromCycle(
+      {1, pinwheel::Schedule::kIdle, 1, pinwheel::Schedule::kIdle,
+       pinwheel::Schedule::kIdle});
+  ASSERT_TRUE(s.ok());
+  for (std::uint64_t window = 1; window <= 30; ++window) {
+    const std::uint64_t actual =
+        pinwheel::Verifier::MinWindowCount(*s, 1, window);
+    EXPECT_LE(GuaranteedCount({2, 5}, window), actual) << "window " << window;
+  }
+}
+
+TEST(ImpliesTest, WeakeningHolds) {
+  EXPECT_TRUE(Implies({2, 5}, {2, 5}));
+  EXPECT_TRUE(Implies({2, 5}, {1, 5}));   // Fewer slots needed.
+  EXPECT_TRUE(Implies({2, 5}, {2, 6}));   // Larger window... via tail bound.
+  EXPECT_TRUE(Implies({2, 5}, {4, 10}));  // R1 scaling.
+  EXPECT_TRUE(Implies({2, 3}, {4, 6}));   // Example 5's R1 use.
+  EXPECT_TRUE(Implies({2, 3}, {2, 5}));   // Example 5's R0 use.
+  EXPECT_TRUE(Implies({2, 3}, {1, 2}));   // Example 6's R2 use.
+}
+
+TEST(ImpliesTest, NonImplicationsRejected) {
+  EXPECT_FALSE(Implies({1, 5}, {2, 5}));
+  EXPECT_FALSE(Implies({1, 2}, {2, 3}));
+  EXPECT_FALSE(Implies({2, 5}, {3, 6}));
+}
+
+TEST(ConjunctGuaranteedCountTest, SumsDisjointConditions) {
+  // pc(1, 2) + pc(1, 3) in window 6: 3 + 2 = 5.
+  EXPECT_EQ(ConjunctGuaranteedCount({{1, 2}, {1, 3}}, 6), 5u);
+}
+
+// The R5 situation from Example 4: pc(1,2) ∧ pc(1,10) jointly guarantee 5
+// slots in every 9-window (enlarge to 10: 5 + 1 = 6, minus 1 slot).
+TEST(ConjunctGuaranteedCountTest, CapturesR5Reasoning) {
+  EXPECT_EQ(ConjunctGuaranteedCount({{1, 2}, {1, 10}}, 9), 5u);
+  // Plain per-window sums would only give 4 + 0.
+  EXPECT_EQ(GuaranteedCount({1, 2}, 9) + GuaranteedCount({1, 10}, 9), 4u);
+}
+
+TEST(ConjunctGuaranteedCountTest, SingleConditionMatchesOrImproves) {
+  for (std::uint64_t b = 1; b <= 12; ++b) {
+    for (std::uint64_t a = 1; a <= b; ++a) {
+      for (std::uint64_t w = 1; w <= 25; ++w) {
+        EXPECT_GE(ConjunctGuaranteedCount({{a, b}}, w),
+                  GuaranteedCount({a, b}, w));
+      }
+    }
+  }
+}
+
+// Soundness of the conjunct bound against concrete two-condition schedules.
+TEST(ConjunctGuaranteedCountTest, SoundAgainstConcreteSchedule) {
+  // Task 1 at slots {0,2,4,6,8} (every 2) and slot 9 (extra unit of window
+  // 10): satisfies pc(1,2) ∧ pc(1,10) jointly mapped to one file.
+  std::vector<pinwheel::TaskId> cycle(10, pinwheel::Schedule::kIdle);
+  for (std::uint64_t t = 0; t < 10; t += 2) cycle[t] = 1;
+  cycle[9] = 1;
+  auto s = pinwheel::Schedule::FromCycle(cycle);
+  ASSERT_TRUE(s.ok());
+  for (std::uint64_t window = 1; window <= 40; ++window) {
+    EXPECT_LE(ConjunctGuaranteedCount({{1, 2}, {1, 10}}, window),
+              pinwheel::Verifier::MinWindowCount(*s, 1, window))
+        << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::algebra

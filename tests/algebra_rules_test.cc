@@ -1,0 +1,233 @@
+// Semantic tests for the pinwheel algebra rules R0-R5 and TR1/TR2
+// (paper, Figure 8 and Section 4.2).
+//
+// Beyond checking the arithmetic, each forward rule is validated
+// *semantically*: we build concrete schedules satisfying the RHS and verify
+// the derived LHS condition over the full cycle with the exhaustive
+// verifier.
+
+#include "algebra/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "pinwheel/schedule.h"
+#include "pinwheel/verifier.h"
+
+namespace bdisk::algebra {
+namespace {
+
+using pinwheel::Schedule;
+using pinwheel::Verifier;
+
+// A residue-class schedule: task 1 on `count` classes of period `period`
+// (slots 0, ..., count-1 mod period). Satisfies pc(count, period).
+Schedule ResidueSchedule(std::uint64_t count, std::uint64_t period) {
+  std::vector<pinwheel::TaskId> cycle(period, Schedule::kIdle);
+  for (std::uint64_t k = 0; k < count; ++k) cycle[k] = 1;
+  auto s = Schedule::FromCycle(std::move(cycle));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+bool ScheduleSatisfies(const Schedule& s, const PinwheelCondition& c) {
+  return Verifier::MinWindowCount(s, 1, c.b) >= c.a;
+}
+
+TEST(RuleR0Test, Arithmetic) {
+  auto r = RuleR0({3, 7}, 1, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{2, 9}));
+  EXPECT_TRUE(RuleR0({3, 7}, 3, 0).status().IsInvalidArgument());
+}
+
+TEST(RuleR0Test, SemanticImplication) {
+  // Schedule satisfying pc(3, 7) must satisfy every R0 weakening.
+  const Schedule s = ResidueSchedule(3, 7);
+  ASSERT_TRUE(ScheduleSatisfies(s, {3, 7}));
+  for (std::uint64_t x = 0; x < 3; ++x) {
+    for (std::uint64_t y = 0; y <= 5; ++y) {
+      auto weak = RuleR0({3, 7}, x, y);
+      ASSERT_TRUE(weak.ok());
+      EXPECT_TRUE(ScheduleSatisfies(s, *weak))
+          << "x=" << x << " y=" << y << " -> " << weak->ToString();
+    }
+  }
+}
+
+TEST(RuleR1Test, Arithmetic) {
+  auto r = RuleR1({2, 5}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{6, 15}));
+  EXPECT_TRUE(RuleR1({2, 5}, 0).status().IsInvalidArgument());
+}
+
+TEST(RuleR1Test, SemanticImplication) {
+  const Schedule s = ResidueSchedule(2, 5);
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    auto scaled = RuleR1({2, 5}, n);
+    ASSERT_TRUE(scaled.ok());
+    EXPECT_TRUE(ScheduleSatisfies(s, *scaled)) << scaled->ToString();
+  }
+}
+
+TEST(RuleR2Test, Arithmetic) {
+  auto r = RuleR2({4, 9}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{2, 7}));
+  EXPECT_TRUE(RuleR2({4, 9}, 4).status().IsInvalidArgument());
+}
+
+TEST(RuleR2Test, SemanticImplication) {
+  const Schedule s = ResidueSchedule(4, 9);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    auto shrunk = RuleR2({4, 9}, x);
+    ASSERT_TRUE(shrunk.ok());
+    EXPECT_TRUE(ScheduleSatisfies(s, *shrunk)) << shrunk->ToString();
+  }
+}
+
+TEST(RuleR3Test, Arithmetic) {
+  EXPECT_EQ(RuleR3({2, 5}), (PinwheelCondition{1, 2}));
+  EXPECT_EQ(RuleR3({3, 7}), (PinwheelCondition{1, 2}));
+  EXPECT_EQ(RuleR3({1, 9}), (PinwheelCondition{1, 9}));
+}
+
+TEST(RuleR3Test, SemanticStrengthening) {
+  // A schedule satisfying pc(1, floor(b/a)) satisfies pc(a, b): sweep.
+  for (std::uint64_t b = 2; b <= 12; ++b) {
+    for (std::uint64_t a = 1; a <= b; ++a) {
+      const PinwheelCondition strong = RuleR3({a, b});
+      // Residue schedule for the strengthened condition: every strong.b-th
+      // slot.
+      std::vector<pinwheel::TaskId> cycle(strong.b, Schedule::kIdle);
+      cycle[0] = 1;
+      auto s = Schedule::FromCycle(std::move(cycle));
+      ASSERT_TRUE(s.ok());
+      EXPECT_GE(Verifier::MinWindowCount(*s, 1, b), a)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RuleR4Test, Arithmetic) {
+  auto r = RuleR4({4, 8}, {1, 9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{5, 9}));
+  // Helper window below the base window is rejected.
+  EXPECT_TRUE(RuleR4({4, 8}, {1, 7}).status().IsInvalidArgument());
+}
+
+TEST(RuleR4Test, SemanticImplication) {
+  // Base: task at slots {0,1,2,3} mod 8 => pc(4, 8). Helper: slot 4 mod 8,
+  // disjoint from the base and satisfying pc(1, 9) (gap 8 < 9). R4 then
+  // derives pc(5, 9) for the union.
+  std::vector<pinwheel::TaskId> cycle(8, Schedule::kIdle);
+  for (std::uint64_t t = 0; t < 4; ++t) cycle[t] = 1;
+  cycle[4] = 1;
+  auto s = Schedule::FromCycle(std::move(cycle));
+  ASSERT_TRUE(s.ok());
+  ASSERT_GE(Verifier::MinWindowCount(*s, 1, 8), 4u);  // Base holds.
+  ASSERT_GE(Verifier::MinWindowCount(*s, 1, 9), 1u);  // Helper holds.
+  // Combined condition pc(5, 9) must hold.
+  EXPECT_GE(Verifier::MinWindowCount(*s, 1, 9), 5u);
+}
+
+TEST(RuleR5Test, Arithmetic) {
+  // Example 4: base pc(1,2), n = 5, helper pc(1,10) => pc(5, 9).
+  auto r = RuleR5({1, 2}, 5, {1, 10});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{5, 9}));
+  EXPECT_TRUE(RuleR5({1, 2}, 5, {1, 9}).status().IsInvalidArgument());
+  EXPECT_TRUE(RuleR5({1, 2}, 5, {10, 10}).status().IsInvalidArgument());
+}
+
+TEST(RuleR5Test, SemanticImplication) {
+  // Base: every even slot (pc(1,2)); helper: one slot of period 10,
+  // disjoint from the base slots. Combined: pc(5, 9) must hold.
+  std::vector<pinwheel::TaskId> cycle(10, Schedule::kIdle);
+  for (std::uint64_t t = 0; t < 10; t += 2) cycle[t] = 1;
+  cycle[9] = 1;
+  auto s = Schedule::FromCycle(std::move(cycle));
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(Verifier::MinWindowCount(*s, 1, 9), 5u);
+}
+
+TEST(RuleTR1Test, PaperExample2) {
+  // bc(5, [100,105,110,115,120]) <= pc(1, 13).
+  BroadcastCondition bc{5, {100, 105, 110, 115, 120}};
+  auto r = RuleTR1(bc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{1, 13}));
+  EXPECT_NEAR(r->density(), 0.0769, 0.0001);
+}
+
+TEST(RuleTR1Test, PaperExample3) {
+  // bc(6, [105, 110]) <= pc(1, 15).
+  BroadcastCondition bc{6, {105, 110}};
+  auto r = RuleTR1(bc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{1, 15}));
+}
+
+TEST(RuleTR1Test, PaperExample4GivesDensityOne) {
+  // bc(4, [8, 9]) <= pc(1, 1) (density 1.0) per the paper.
+  BroadcastCondition bc{4, {8, 9}};
+  auto r = RuleTR1(bc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (PinwheelCondition{1, 1}));
+}
+
+TEST(RuleTR1Test, SemanticSufficiency) {
+  // A schedule realizing the TR1 condition satisfies every level of the bc.
+  BroadcastCondition bc{2, {9, 11, 14}};
+  auto strong = RuleTR1(bc);
+  ASSERT_TRUE(strong.ok());
+  std::vector<pinwheel::TaskId> cycle(strong->b, Schedule::kIdle);
+  cycle[0] = 1;
+  auto s = Schedule::FromCycle(std::move(cycle));
+  ASSERT_TRUE(s.ok());
+  for (std::size_t j = 0; j < bc.d.size(); ++j) {
+    EXPECT_GE(Verifier::MinWindowCount(*s, 1, bc.d[j]), bc.m + j)
+        << "level " << j;
+  }
+}
+
+TEST(RuleTR2Test, StructureMatchesPaper) {
+  BroadcastCondition bc{6, {105, 110}};
+  auto r = RuleTR2(bc);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->conditions.size(), 2u);
+  EXPECT_EQ(r->conditions[0].condition, (PinwheelCondition{6, 105}));
+  EXPECT_FALSE(r->conditions[0].is_helper);
+  EXPECT_EQ(r->conditions[1].condition, (PinwheelCondition{1, 110}));
+  EXPECT_TRUE(r->conditions[1].is_helper);
+  // Paper: density 6/105 + 1/110 = 0.0662.
+  EXPECT_NEAR(r->density(), 0.0662, 0.0001);
+}
+
+TEST(RuleTR2Test, Example4Density) {
+  // TR2 on bc(4, [8,9]): pc(4,8) ∧ pc'(1,9), density 0.6111.
+  BroadcastCondition bc{4, {8, 9}};
+  auto r = RuleTR2(bc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->density(), 4.0 / 8 + 1.0 / 9, 1e-12);
+}
+
+TEST(RuleTR2Test, RegularFileDegeneratesToSingleCondition) {
+  BroadcastCondition bc{3, {12}};
+  auto r = RuleTR2(bc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->conditions.size(), 1u);
+}
+
+TEST(MappedConjunctTest, ToStringRendersHelpers) {
+  BroadcastCondition bc{4, {8, 9}};
+  auto r = RuleTR2(bc);
+  ASSERT_TRUE(r.ok());
+  const std::string s = r->ToString();
+  EXPECT_NE(s.find("pc(i0, 4, 8)"), std::string::npos);
+  EXPECT_NE(s.find("i'1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdisk::algebra

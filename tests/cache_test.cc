@@ -1,0 +1,123 @@
+// Tests for client-side caching (LRU / PIX) and the Zipf workload helper.
+
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace bdisk::sim {
+namespace {
+
+TEST(ClientCacheTest, ZeroCapacityCachesNothing) {
+  ClientCache cache(0, CachePolicy::kLru);
+  cache.Insert(1, 0.5, 1.0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(ClientCacheTest, BasicHitMiss) {
+  ClientCache cache(2, CachePolicy::kLru);
+  EXPECT_FALSE(cache.Lookup(1));
+  cache.Insert(1, 0.5, 1.0);
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ClientCacheTest, DuplicateInsertIgnored) {
+  ClientCache cache(2, CachePolicy::kLru);
+  cache.Insert(1, 0.5, 1.0);
+  cache.Insert(1, 0.9, 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ClientCacheTest, LruEvictsLeastRecent) {
+  ClientCache cache(2, CachePolicy::kLru);
+  cache.Insert(1, 0.1, 1.0);
+  cache.Insert(2, 0.1, 1.0);
+  EXPECT_TRUE(cache.Lookup(1));  // 1 is now most recent.
+  cache.Insert(3, 0.1, 1.0);     // Evicts 2.
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_FALSE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(3));
+}
+
+TEST(ClientCacheTest, PixEvictsLowestScore) {
+  ClientCache cache(2, CachePolicy::kPix);
+  // Item 1: hot but broadcast constantly => low PIX value.
+  cache.Insert(1, 0.5, 10.0);  // p/x = 0.05.
+  // Item 2: lukewarm but broadcast rarely => high PIX value.
+  cache.Insert(2, 0.2, 0.5);   // p/x = 0.4.
+  cache.Insert(3, 0.3, 3.0);   // p/x = 0.1; evicts item 1.
+  EXPECT_FALSE(cache.Lookup(1));
+  EXPECT_TRUE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(3));
+}
+
+TEST(ClientCacheTest, PixDiffersFromLruOnSkewedFrequencies) {
+  // Same access sequence, different evictions.
+  ClientCache lru(1, CachePolicy::kLru);
+  ClientCache pix(1, CachePolicy::kPix);
+  // First item is precious under PIX (rarely broadcast).
+  lru.Insert(1, 0.3, 0.1);
+  pix.Insert(1, 0.3, 0.1);
+  // Second item is cheap to refetch (broadcast every few slots).
+  lru.Insert(2, 0.3, 10.0);
+  pix.Insert(2, 0.3, 10.0);
+  EXPECT_TRUE(lru.Lookup(2));   // LRU kept the newcomer...
+  EXPECT_FALSE(lru.Lookup(1));
+  EXPECT_TRUE(pix.Lookup(1));   // ...PIX kept the expensive item.
+  EXPECT_FALSE(pix.Lookup(2));
+}
+
+TEST(ClientCacheTest, ContentsSorted) {
+  ClientCache cache(4, CachePolicy::kLru);
+  cache.Insert(3, 0.1, 1.0);
+  cache.Insert(1, 0.1, 1.0);
+  cache.Insert(2, 0.1, 1.0);
+  EXPECT_EQ(cache.Contents(),
+            (std::vector<broadcast::FileIndex>{1, 2, 3}));
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecrease) {
+  ZipfDistribution zipf(10, 0.95);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    sum += zipf.ProbabilityOf(i);
+    if (i > 0) {
+      EXPECT_LT(zipf.ProbabilityOf(i), zipf.ProbabilityOf(i - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.ProbabilityOf(i), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplingMatchesProbabilities) {
+  ZipfDistribution zipf(6, 1.0);
+  Rng rng(555);
+  std::vector<int> counts(6, 0);
+  const int kTrials = 200000;
+  for (int t = 0; t < kTrials; ++t) {
+    ++counts[zipf.Sample(rng.UniformDouble())];
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kTrials,
+                zipf.ProbabilityOf(i), 0.01)
+        << "item " << i;
+  }
+}
+
+TEST(ZipfTest, SampleEdges) {
+  ZipfDistribution zipf(3, 1.0);
+  EXPECT_EQ(zipf.Sample(0.0), 0u);
+  EXPECT_LT(zipf.Sample(0.999999), 3u);
+}
+
+}  // namespace
+}  // namespace bdisk::sim

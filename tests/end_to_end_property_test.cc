@@ -1,0 +1,129 @@
+// Randomized end-to-end property test: random generalized broadcast-file
+// systems -> algebra conversion -> scheduling -> merged-schedule
+// verification of every original bc level. This is the library's central
+// soundness claim exercised on inputs no human picked.
+
+#include <gtest/gtest.h>
+
+#include "algebra/optimizer.h"
+#include "bdisk/delay_analysis.h"
+#include "bdisk/pinwheel_builder.h"
+#include "common/random.h"
+#include "pinwheel/composite_scheduler.h"
+#include "pinwheel/verifier.h"
+
+namespace bdisk {
+namespace {
+
+using algebra::BroadcastCondition;
+
+// Random valid broadcast condition with bounded density contribution.
+BroadcastCondition RandomCondition(Rng* rng, double max_density) {
+  const std::uint64_t m = 1 + rng->Uniform(6);
+  const std::uint64_t r = rng->Uniform(3);
+  // Base window sized so (m + r) / d0 stays under max_density.
+  const auto min_d0 = static_cast<std::uint64_t>(
+      static_cast<double>(m + r) / max_density) + 1;
+  const std::uint64_t d0 = min_d0 + rng->Uniform(40);
+  BroadcastCondition bc;
+  bc.m = m;
+  bc.d.push_back(d0);
+  std::uint64_t prev = d0;
+  for (std::uint64_t j = 1; j <= r; ++j) {
+    prev += rng->Uniform(8);
+    bc.d.push_back(std::max(prev, m + j));
+    prev = bc.d.back();
+  }
+  return bc;
+}
+
+TEST(EndToEndPropertyTest, RandomSystemsScheduleAndSatisfyEveryLevel) {
+  Rng rng(13579);
+  pinwheel::CompositeScheduler scheduler;
+  int built = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    // 2-4 files, each consuming at most ~0.2 density: systems stay well
+    // inside the schedulable regime.
+    const std::size_t n_files = 2 + rng.Uniform(3);
+    std::vector<BroadcastCondition> conditions;
+    for (std::size_t i = 0; i < n_files; ++i) {
+      conditions.push_back(RandomCondition(&rng, 0.2));
+    }
+    for (const auto& bc : conditions) {
+      ASSERT_TRUE(bc.Validate().ok()) << bc.ToString();
+    }
+
+    auto system = algebra::ConvertSystem(conditions);
+    ASSERT_TRUE(system.ok()) << system.status();
+    // Conversion bookkeeping invariants.
+    ASSERT_EQ(system->conversions.size(), n_files);
+    for (const auto& conv : system->conversions) {
+      EXPECT_GE(conv.best().density(), conv.density_lower_bound - 1e-9);
+    }
+
+    auto schedule = scheduler.BuildSchedule(system->instance);
+    if (!schedule.ok()) {
+      // Allowed (heuristic portfolio), but should be rare at this density.
+      continue;
+    }
+    ++built;
+
+    // Merge virtual tasks back to files; every bc level must hold exactly.
+    std::vector<pinwheel::TaskId> merged(schedule->period());
+    for (std::uint64_t t = 0; t < schedule->period(); ++t) {
+      const pinwheel::TaskId v = schedule->slots()[t];
+      merged[t] = v == pinwheel::Schedule::kIdle
+                      ? pinwheel::Schedule::kIdle
+                      : system->virtual_to_file[v];
+    }
+    auto merged_schedule = pinwheel::Schedule::FromCycle(std::move(merged));
+    ASSERT_TRUE(merged_schedule.ok());
+    for (std::size_t f = 0; f < conditions.size(); ++f) {
+      for (std::size_t j = 0; j < conditions[f].d.size(); ++j) {
+        ASSERT_GE(pinwheel::Verifier::MinWindowCount(
+                      *merged_schedule, static_cast<pinwheel::TaskId>(f),
+                      conditions[f].d[j]),
+                  conditions[f].m + j)
+            << "trial " << trial << " file " << conditions[f].ToString()
+            << " level " << j;
+      }
+    }
+  }
+  EXPECT_GE(built, 35) << "portfolio failed too often at low density";
+}
+
+TEST(EndToEndPropertyTest, BuilderLatencyPromisesHoldOnRandomSystems) {
+  Rng rng(86420);
+  pinwheel::CompositeScheduler scheduler;
+  int built = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n_files = 2 + rng.Uniform(2);
+    std::vector<broadcast::GeneralizedFileSpec> files;
+    for (std::size_t i = 0; i < n_files; ++i) {
+      const BroadcastCondition bc = RandomCondition(&rng, 0.25);
+      files.push_back(broadcast::GeneralizedFileSpec{
+          "f" + std::to_string(i), bc.m, bc.d});
+    }
+    auto result = broadcast::BuildGeneralizedProgram(files, scheduler);
+    if (!result.ok()) continue;
+    ++built;
+    // The program's own exhaustive verification is the contract.
+    ASSERT_TRUE(result->program.VerifyBroadcastConditions().ok());
+    // The analytic worst-case latency respects every level.
+    broadcast::DelayAnalyzer analyzer(result->program);
+    for (broadcast::FileIndex f = 0; f < result->program.file_count(); ++f) {
+      const auto& pf = result->program.files()[f];
+      for (std::size_t j = 0; j < pf.latency_slots.size(); ++j) {
+        auto latency = analyzer.WorstCaseLatency(
+            f, static_cast<std::uint32_t>(j), broadcast::ClientModel::kIda);
+        ASSERT_TRUE(latency.ok()) << latency.status();
+        ASSERT_LE(*latency, pf.latency_slots[j])
+            << "trial " << trial << " file " << pf.name << " level " << j;
+      }
+    }
+  }
+  EXPECT_GE(built, 12);
+}
+
+}  // namespace
+}  // namespace bdisk

@@ -1,0 +1,117 @@
+// Tests for the channel fault models.
+
+#include "sim/fault_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::sim {
+namespace {
+
+TEST(NoFaultModelTest, NeverCorrupts) {
+  NoFaultModel model;
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    EXPECT_FALSE(model.Corrupts(t));
+  }
+}
+
+TEST(BernoulliFaultModelTest, DeterministicAfterReset) {
+  BernoulliFaultModel model(0.3, 99);
+  std::vector<bool> first;
+  for (std::uint64_t t = 0; t < 500; ++t) first.push_back(model.Corrupts(t));
+  model.Reset();
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    EXPECT_EQ(model.Corrupts(t), first[t]) << "slot " << t;
+  }
+}
+
+TEST(BernoulliFaultModelTest, RateApproximatesP) {
+  BernoulliFaultModel model(0.2, 7);
+  int losses = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    if (model.Corrupts(t)) ++losses;
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / trials, 0.2, 0.01);
+}
+
+TEST(BernoulliFaultModelTest, ZeroAndOneRates) {
+  BernoulliFaultModel never(0.0, 1);
+  BernoulliFaultModel always(1.0, 1);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(never.Corrupts(t));
+    EXPECT_TRUE(always.Corrupts(t));
+  }
+}
+
+TEST(GilbertElliottTest, DeterministicAfterReset) {
+  GilbertElliottFaultModel::Params params;
+  GilbertElliottFaultModel model(params, 123);
+  std::vector<bool> first;
+  for (std::uint64_t t = 0; t < 500; ++t) first.push_back(model.Corrupts(t));
+  model.Reset();
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    EXPECT_EQ(model.Corrupts(t), first[t]);
+  }
+}
+
+TEST(GilbertElliottTest, StationaryLossRateFormula) {
+  GilbertElliottFaultModel::Params params;
+  params.p_good_to_bad = 0.1;
+  params.p_bad_to_good = 0.3;
+  params.loss_good = 0.0;
+  params.loss_bad = 1.0;
+  GilbertElliottFaultModel model(params, 5);
+  // pi_bad = 0.1 / 0.4 = 0.25 -> loss rate 0.25.
+  EXPECT_NEAR(model.StationaryLossRate(), 0.25, 1e-12);
+}
+
+TEST(GilbertElliottTest, EmpiricalRateMatchesStationary) {
+  GilbertElliottFaultModel::Params params;
+  params.p_good_to_bad = 0.05;
+  params.p_bad_to_good = 0.45;
+  GilbertElliottFaultModel model(params, 17);
+  int losses = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    if (model.Corrupts(t)) ++losses;
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / trials,
+              model.StationaryLossRate(), 0.01);
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // With slow transitions, consecutive-loss runs must be much longer than
+  // under an independent model of the same rate.
+  GilbertElliottFaultModel::Params params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.1;
+  GilbertElliottFaultModel model(params, 23);
+  int runs = 0;
+  int losses = 0;
+  bool prev = false;
+  for (int t = 0; t < 200000; ++t) {
+    const bool lost = model.Corrupts(t);
+    if (lost) {
+      ++losses;
+      if (!prev) ++runs;
+    }
+    prev = lost;
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(losses) / runs;
+  EXPECT_GT(mean_run, 5.0);  // Expected run length ~ 1/p_bad_to_good = 10.
+}
+
+TEST(SlotSetFaultModelTest, ExactSlots) {
+  SlotSetFaultModel model({3, 5, 8});
+  EXPECT_FALSE(model.Corrupts(0));
+  EXPECT_TRUE(model.Corrupts(3));
+  EXPECT_FALSE(model.Corrupts(4));
+  EXPECT_TRUE(model.Corrupts(5));
+  EXPECT_TRUE(model.Corrupts(8));
+  model.Reset();
+  EXPECT_TRUE(model.Corrupts(3));
+}
+
+}  // namespace
+}  // namespace bdisk::sim

@@ -1,0 +1,105 @@
+// Tests for the flat broadcast-program builders (Figures 5 / 6 baselines).
+
+#include "bdisk/flat_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace bdisk::broadcast {
+namespace {
+
+std::vector<FlatFileSpec> PaperToyFiles(bool ida) {
+  // File A: 5 blocks (dispersed to 10 under AIDA); file B: 3 (to 6).
+  return {
+      {"A", 5, ida ? 10u : 5u, {}},
+      {"B", 3, ida ? 6u : 3u, {}},
+  };
+}
+
+TEST(FlatBuilderTest, Validation) {
+  EXPECT_FALSE(BuildFlatProgram({}, FlatLayout::kContiguous).ok());
+  EXPECT_FALSE(
+      BuildFlatProgram({{"A", 0, 1, {}}}, FlatLayout::kContiguous).ok());
+  EXPECT_FALSE(
+      BuildFlatProgram({{"A", 3, 2, {}}}, FlatLayout::kContiguous).ok());
+}
+
+TEST(FlatBuilderTest, ContiguousLayoutMatchesFigure5) {
+  auto p = BuildFlatProgram(PaperToyFiles(false), FlatLayout::kContiguous);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->period(), 8u);
+  // A1..A5 then B1..B3.
+  const std::vector<FileIndex> expected{0, 0, 0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(p->slots(), expected);
+  EXPECT_EQ(p->DataCycleLength(), 8u);
+}
+
+TEST(FlatBuilderTest, SpreadLayoutInterleaves) {
+  auto p = BuildFlatProgram(PaperToyFiles(true), FlatLayout::kSpread);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->period(), 8u);
+  EXPECT_EQ(p->CountOf(0), 5u);
+  EXPECT_EQ(p->CountOf(1), 3u);
+  // Spreading strictly reduces A's max gap versus contiguous.
+  auto contiguous =
+      BuildFlatProgram(PaperToyFiles(true), FlatLayout::kContiguous);
+  ASSERT_TRUE(contiguous.ok());
+  EXPECT_LT(p->MaxGapOf(0), contiguous->MaxGapOf(0));
+  EXPECT_LE(p->MaxGapOf(0), 2u);  // 5 of 8 slots spread: gap at most 2.
+  EXPECT_LE(p->MaxGapOf(1), 3u);  // 3 of 8 slots spread: gap at most 3.
+}
+
+TEST(FlatBuilderTest, SpreadIsDeterministic) {
+  auto p1 = BuildFlatProgram(PaperToyFiles(true), FlatLayout::kSpread);
+  auto p2 = BuildFlatProgram(PaperToyFiles(true), FlatLayout::kSpread);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->slots(), p2->slots());
+}
+
+TEST(FlatBuilderTest, AidaVersionHasDataCycle16) {
+  auto p = BuildFlatProgram(PaperToyFiles(true), FlatLayout::kSpread);
+  ASSERT_TRUE(p.ok());
+  // n/gcd(c,n): A: 10/gcd(5,10) = 2; B: 6/gcd(3,6) = 2 => 2 periods = 16.
+  EXPECT_EQ(p->DataCycleLength(), 16u);
+}
+
+// The paper's Section 2.3 sizing example: 200 blocks from 10 files of 20
+// blocks each can be spread so same-file blocks are at most 200/20 = 10
+// apart.
+TEST(FlatBuilderTest, PaperSpreadingExample200Blocks) {
+  std::vector<FlatFileSpec> files;
+  for (int i = 0; i < 10; ++i) {
+    files.push_back({"F" + std::to_string(i), 20, 40, {}});
+  }
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->period(), 200u);
+  for (FileIndex f = 0; f < 10; ++f) {
+    EXPECT_LE(p->MaxGapOf(f), 10u) << "file " << f;
+  }
+}
+
+TEST(FlatBuilderTest, SkewedSizesStillSpreadWell) {
+  std::vector<FlatFileSpec> files{
+      {"big", 12, 24, {}}, {"mid", 4, 8, {}}, {"tiny", 1, 2, {}}};
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->period(), 17u);
+  // The big file (12 of 17 slots) must appear at least every 3 slots.
+  EXPECT_LE(p->MaxGapOf(0), 3u);
+  // Every file appears.
+  EXPECT_EQ(p->CountOf(2), 1u);
+}
+
+TEST(FlatBuilderTest, LatencyVectorsForwarded) {
+  std::vector<FlatFileSpec> files{{"A", 2, 4, {5, 8}}, {"B", 1, 1, {4}}};
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->files()[0].latency_slots, (std::vector<std::uint64_t>{5, 8}));
+  // A: 2 of every 3 slots? Spread period 3: A A B or A B A. bc(2,[5,8]):
+  // 2 per 5 and 3 per 8 — verify runs the exact check.
+  EXPECT_TRUE(p->VerifyBroadcastConditions().ok());
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

@@ -1,0 +1,308 @@
+// Unit, property and failure-injection tests for IDA / AIDA.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "ida/aida.h"
+#include "ida/block.h"
+#include "ida/dispersal.h"
+
+namespace bdisk::ida {
+namespace {
+
+std::vector<std::uint8_t> RandomFile(std::size_t size, Rng* rng) {
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng->Uniform(256));
+  return data;
+}
+
+TEST(BlockHeaderTest, ToStringIncludesAllFields) {
+  BlockHeader h{3, 4, 5, 10};
+  EXPECT_EQ(h.ToString(), "file=3 block=4/10 (m=5) v0");
+  BlockHeader none;
+  EXPECT_NE(none.ToString().find("<none>"), std::string::npos);
+}
+
+TEST(DispersalTest, CreateValidation) {
+  EXPECT_TRUE(Dispersal::Create(0, 5, 16).status().IsInvalidArgument());
+  EXPECT_TRUE(Dispersal::Create(5, 4, 16).status().IsInvalidArgument());
+  EXPECT_TRUE(Dispersal::Create(5, 10, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(Dispersal::Create(5, 300, 16).status().IsInvalidArgument());
+  EXPECT_TRUE(Dispersal::Create(5, 10, 16).ok());
+  EXPECT_TRUE(Dispersal::Create(1, 1, 1).ok());
+}
+
+TEST(DispersalTest, DisperseProducesSelfIdentifyingBlocks) {
+  auto d = Dispersal::Create(3, 6, 8);
+  ASSERT_TRUE(d.ok());
+  Rng rng(1);
+  const auto file = RandomFile(3 * 8, &rng);
+  auto blocks = d->Disperse(7, file);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*blocks)[i].header.file_id, 7u);
+    EXPECT_EQ((*blocks)[i].header.block_index, i);
+    EXPECT_EQ((*blocks)[i].header.reconstruct_threshold, 3u);
+    EXPECT_EQ((*blocks)[i].header.total_blocks, 6u);
+    EXPECT_EQ((*blocks)[i].payload.size(), 8u);
+  }
+}
+
+TEST(DispersalTest, SystematicPrefixCopiesData) {
+  auto d = Dispersal::Create(2, 5, 4);
+  ASSERT_TRUE(d.ok());
+  const std::vector<std::uint8_t> file{1, 2, 3, 4, 5, 6, 7, 8};
+  auto blocks = d->Disperse(0, file);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ((*blocks)[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ((*blocks)[1].payload, (std::vector<std::uint8_t>{5, 6, 7, 8}));
+}
+
+TEST(DispersalTest, WrongFileSizeRejected) {
+  auto d = Dispersal::Create(3, 6, 8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->Disperse(0, std::vector<std::uint8_t>(23, 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Property: any m of the N dispersed blocks reconstruct the original —
+// exhaustive over all C(6,3) = 20 subsets, in random order.
+TEST(DispersalTest, AnyMSubsetReconstructsExhaustive) {
+  auto d = Dispersal::Create(3, 6, 16);
+  ASSERT_TRUE(d.ok());
+  Rng rng(2);
+  const auto file = RandomFile(3 * 16, &rng);
+  auto blocks = d->Disperse(1, file);
+  ASSERT_TRUE(blocks.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      for (std::size_t k = j + 1; k < 6; ++k) {
+        std::vector<Block> subset{(*blocks)[k], (*blocks)[i], (*blocks)[j]};
+        auto rec = d->Reconstruct(subset);
+        ASSERT_TRUE(rec.ok()) << "subset " << i << "," << j << "," << k;
+        EXPECT_EQ(*rec, file);
+      }
+    }
+  }
+}
+
+struct GeometryParam {
+  std::uint32_t m;
+  std::uint32_t n;
+  std::size_t block_size;
+};
+
+class DispersalGeometryTest : public ::testing::TestWithParam<GeometryParam> {};
+
+// Property sweep over geometries: random m-subsets reconstruct; m-1 blocks
+// fail with DataLoss.
+TEST_P(DispersalGeometryTest, RandomSubsetsRoundTrip) {
+  const GeometryParam p = GetParam();
+  auto d = Dispersal::Create(p.m, p.n, p.block_size);
+  ASSERT_TRUE(d.ok());
+  Rng rng(p.m * 1000003 + p.n);
+  const auto file = RandomFile(p.m * p.block_size, &rng);
+  auto blocks = d->Disperse(9, file);
+  ASSERT_TRUE(blocks.ok());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto idx = rng.SampleWithoutReplacement(p.n, p.m);
+    std::vector<Block> subset;
+    for (std::size_t i : idx) subset.push_back((*blocks)[i]);
+    auto rec = d->Reconstruct(subset);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(*rec, file);
+  }
+
+  if (p.m > 1) {
+    const auto idx = rng.SampleWithoutReplacement(p.n, p.m - 1);
+    std::vector<Block> subset;
+    for (std::size_t i : idx) subset.push_back((*blocks)[i]);
+    EXPECT_TRUE(d->Reconstruct(subset).status().IsDataLoss());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DispersalGeometryTest,
+    ::testing::Values(GeometryParam{1, 1, 4}, GeometryParam{1, 8, 4},
+                      GeometryParam{2, 3, 32}, GeometryParam{5, 10, 64},
+                      GeometryParam{8, 12, 128}, GeometryParam{16, 24, 16},
+                      GeometryParam{32, 48, 8}, GeometryParam{64, 96, 4}),
+    [](const ::testing::TestParamInfo<GeometryParam>& info) {
+      std::string name = "m";
+      name += std::to_string(info.param.m);
+      name += "n";
+      name += std::to_string(info.param.n);
+      name += "b";
+      name += std::to_string(info.param.block_size);
+      return name;
+    });
+
+TEST(DispersalTest, DuplicateBlocksIgnored) {
+  auto d = Dispersal::Create(2, 4, 8);
+  ASSERT_TRUE(d.ok());
+  Rng rng(3);
+  const auto file = RandomFile(16, &rng);
+  auto blocks = d->Disperse(0, file);
+  ASSERT_TRUE(blocks.ok());
+  // Duplicates of block 0 do not count toward the threshold.
+  std::vector<Block> dup{(*blocks)[0], (*blocks)[0], (*blocks)[0]};
+  EXPECT_TRUE(d->Reconstruct(dup).status().IsDataLoss());
+  // But a duplicate plus a distinct block works.
+  std::vector<Block> okset{(*blocks)[0], (*blocks)[0], (*blocks)[3]};
+  auto rec = d->Reconstruct(okset);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, file);
+}
+
+TEST(DispersalTest, GeometryMismatchRejected) {
+  auto d = Dispersal::Create(2, 4, 8);
+  auto other = Dispersal::Create(3, 6, 8);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(other.ok());
+  Rng rng(4);
+  auto foreign = other->Disperse(0, RandomFile(24, &rng));
+  ASSERT_TRUE(foreign.ok());
+  std::vector<Block> mixed{(*foreign)[0], (*foreign)[1]};
+  EXPECT_TRUE(d->Reconstruct(mixed).status().IsInvalidArgument());
+}
+
+TEST(DispersalTest, CorruptPayloadSizeRejected) {
+  auto d = Dispersal::Create(2, 4, 8);
+  ASSERT_TRUE(d.ok());
+  Rng rng(5);
+  auto blocks = d->Disperse(0, RandomFile(16, &rng));
+  ASSERT_TRUE(blocks.ok());
+  (*blocks)[1].payload.resize(5);
+  std::vector<Block> subset{(*blocks)[0], (*blocks)[1]};
+  EXPECT_TRUE(d->Reconstruct(subset).status().IsInvalidArgument());
+}
+
+TEST(DispersalTest, InverseCacheGrowsAndIsReused) {
+  auto d = Dispersal::Create(2, 4, 8);
+  ASSERT_TRUE(d.ok());
+  Rng rng(6);
+  const auto file = RandomFile(16, &rng);
+  auto blocks = d->Disperse(0, file);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(d->cached_inverse_count(), 0u);
+  std::vector<Block> s1{(*blocks)[0], (*blocks)[2]};
+  ASSERT_TRUE(d->Reconstruct(s1).ok());
+  EXPECT_EQ(d->cached_inverse_count(), 1u);
+  // Same subset in the other order hits the cache.
+  std::vector<Block> s2{(*blocks)[2], (*blocks)[0]};
+  ASSERT_TRUE(d->Reconstruct(s2).ok());
+  EXPECT_EQ(d->cached_inverse_count(), 1u);
+  std::vector<Block> s3{(*blocks)[1], (*blocks)[3]};
+  ASSERT_TRUE(d->Reconstruct(s3).ok());
+  EXPECT_EQ(d->cached_inverse_count(), 2u);
+}
+
+TEST(AidaTest, AllocateScalesRedundancy) {
+  auto aida = Aida::Create(3, 9, 8);
+  ASSERT_TRUE(aida.ok());
+  Rng rng(7);
+  const auto file = RandomFile(24, &rng);
+  auto dispersed = aida->Disperse(0, file);
+  ASSERT_TRUE(dispersed.ok());
+
+  auto minimal = aida->Allocate(*dispersed, 3);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->size(), 3u);
+
+  auto maximal = aida->Allocate(*dispersed, 9);
+  ASSERT_TRUE(maximal.ok());
+  EXPECT_EQ(maximal->size(), 9u);
+
+  EXPECT_TRUE(aida->Allocate(*dispersed, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(aida->Allocate(*dispersed, 10).status().IsInvalidArgument());
+}
+
+TEST(AidaTest, MinimalAllocationStillReconstructs) {
+  auto aida = Aida::Create(3, 9, 8);
+  ASSERT_TRUE(aida.ok());
+  Rng rng(8);
+  const auto file = RandomFile(24, &rng);
+  auto tx = aida->DisperseAndAllocate(0, file, 3);
+  ASSERT_TRUE(tx.ok());
+  auto rec = aida->Reconstruct(*tx);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, file);
+}
+
+TEST(AidaTest, FaultToleranceArithmetic) {
+  auto aida = Aida::Create(5, 10, 8);
+  ASSERT_TRUE(aida.ok());
+  auto n0 = aida->BlocksForFaultTolerance(0);
+  ASSERT_TRUE(n0.ok());
+  EXPECT_EQ(*n0, 5u);
+  auto n5 = aida->BlocksForFaultTolerance(5);
+  ASSERT_TRUE(n5.ok());
+  EXPECT_EQ(*n5, 10u);
+  EXPECT_TRUE(aida->BlocksForFaultTolerance(6).status().IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(aida->RedundancyRatio(10), 2.0);
+}
+
+TEST(AidaTest, RedundancyProfileModes) {
+  RedundancyProfile profile(5, 10);
+  profile.SetMode("combat", 10);
+  profile.SetMode("landing", 6);
+  profile.SetMode("excessive", 99);  // Clamped to n_max.
+  EXPECT_EQ(profile.BlocksForMode("combat"), 10u);
+  EXPECT_EQ(profile.BlocksForMode("landing"), 6u);
+  EXPECT_EQ(profile.BlocksForMode("excessive"), 10u);
+  EXPECT_EQ(profile.BlocksForMode("unknown"), 5u);  // Defaults to m.
+  EXPECT_EQ(profile.FaultsToleratedInMode("combat"), 5u);
+  EXPECT_EQ(profile.FaultsToleratedInMode("unknown"), 0u);
+}
+
+TEST(PaddingTest, PadToFileSize) {
+  auto padded = PadToFileSize({1, 2, 3}, 2, 4);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, (std::vector<std::uint8_t>{1, 2, 3, 0, 0, 0, 0, 0}));
+  EXPECT_TRUE(PadToFileSize(std::vector<std::uint8_t>(9, 1), 2, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PaddingTest, BlocksNeeded) {
+  EXPECT_EQ(BlocksNeeded(0, 16), 1u);
+  EXPECT_EQ(BlocksNeeded(1, 16), 1u);
+  EXPECT_EQ(BlocksNeeded(16, 16), 1u);
+  EXPECT_EQ(BlocksNeeded(17, 16), 2u);
+  EXPECT_EQ(BlocksNeeded(160, 16), 10u);
+}
+
+// The paper's Figure 6 geometry: A is 5 blocks dispersed to 10, B is 3
+// dispersed to 6; any 5 (resp. 3) reconstruct.
+TEST(PaperExampleTest, Figure6Geometries) {
+  Rng rng(9);
+  auto a = Dispersal::Create(5, 10, 32);
+  auto b = Dispersal::Create(3, 6, 32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto file_a = RandomFile(5 * 32, &rng);
+  const auto file_b = RandomFile(3 * 32, &rng);
+  auto blocks_a = a->Disperse(0, file_a);
+  auto blocks_b = b->Disperse(1, file_b);
+  ASSERT_TRUE(blocks_a.ok());
+  ASSERT_TRUE(blocks_b.ok());
+  // Client misses A'1..A'5 entirely and still reconstructs from A'6..A'10.
+  std::vector<Block> tail(blocks_a->begin() + 5, blocks_a->end());
+  auto rec = a->Reconstruct(tail);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, file_a);
+  // B tolerates any 3 losses out of 6.
+  std::vector<Block> some{(*blocks_b)[1], (*blocks_b)[4], (*blocks_b)[5]};
+  auto rec_b = b->Reconstruct(some);
+  ASSERT_TRUE(rec_b.ok());
+  EXPECT_EQ(*rec_b, file_b);
+}
+
+}  // namespace
+}  // namespace bdisk::ida

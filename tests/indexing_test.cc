@@ -1,0 +1,137 @@
+// Tests for (1, m) index broadcasting.
+
+#include "bdisk/indexing.h"
+
+#include <gtest/gtest.h>
+
+#include "bdisk/flat_builder.h"
+
+namespace bdisk::broadcast {
+namespace {
+
+BroadcastProgram BaseProgram() {
+  std::vector<FlatFileSpec> files{
+      {"A", 4, 8, {}},
+      {"B", 2, 4, {}},
+      {"C", 6, 6, {}},
+  };
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(IndexingTest, Validation) {
+  const BroadcastProgram base = BaseProgram();
+  EXPECT_FALSE(BuildIndexedProgram(base, {0, 1}).ok());
+  EXPECT_FALSE(BuildIndexedProgram(base, {1, 0}).ok());
+  EXPECT_FALSE(BuildIndexedProgram(base, {1000, 1}).ok());
+}
+
+TEST(IndexingTest, StructureOfIndexedProgram) {
+  const BroadcastProgram base = BaseProgram();
+  IndexingOptions options;
+  options.replication = 3;
+  options.index_slots = 2;
+  auto indexed = BuildIndexedProgram(base, options);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+
+  const BroadcastProgram& p = indexed->program;
+  EXPECT_EQ(p.file_count(), base.file_count() + 1);
+  EXPECT_EQ(p.period(), base.period() + 3 * 2);
+  EXPECT_EQ(p.CountOf(indexed->index_file), 3u * 2u);
+  // Base files keep their per-period counts.
+  for (FileIndex f = 0; f < base.file_count(); ++f) {
+    EXPECT_EQ(p.CountOf(f), base.CountOf(f));
+  }
+  // Every index segment is a contiguous run starting with block 0.
+  std::uint64_t starts = 0;
+  for (std::uint64_t t = 0; t < p.period(); ++t) {
+    const auto tx = p.TransmissionAt(t);
+    if (tx.has_value() && tx->file == indexed->index_file &&
+        tx->block_index == 0) {
+      ++starts;
+      const auto next = p.TransmissionAt(t + 1);
+      ASSERT_TRUE(next.has_value());
+      EXPECT_EQ(next->file, indexed->index_file);
+      EXPECT_EQ(next->block_index, 1u);
+    }
+  }
+  EXPECT_EQ(starts, 3u);
+}
+
+TEST(IndexingTest, IndexedAccessCollectsTarget) {
+  const BroadcastProgram base = BaseProgram();
+  auto indexed = BuildIndexedProgram(base, {2, 1});
+  ASSERT_TRUE(indexed.ok());
+  for (FileIndex target = 0; target < base.file_count(); ++target) {
+    for (std::uint64_t start = 0; start < indexed->program.period();
+         ++start) {
+      auto cost = IndexedAccess(*indexed, target, start);
+      ASSERT_TRUE(cost.ok()) << cost.status();
+      EXPECT_GT(cost->latency, 0u);
+      // Tuning = probe + index + exactly the listened target slots
+      // (m..n of them).
+      const ProgramFile& pf = indexed->program.files()[target];
+      EXPECT_GE(cost->tuning_time, 1 + indexed->options.index_slots + pf.m);
+      EXPECT_LE(cost->tuning_time, 1 + indexed->options.index_slots + pf.n);
+      EXPECT_LE(cost->tuning_time, cost->latency);
+    }
+  }
+}
+
+TEST(IndexingTest, TargetingIndexFileRejected) {
+  const BroadcastProgram base = BaseProgram();
+  auto indexed = BuildIndexedProgram(base, {1, 1});
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_FALSE(IndexedAccess(*indexed, indexed->index_file, 0).ok());
+}
+
+TEST(IndexingTest, NonIndexedTuningEqualsLatency) {
+  const BroadcastProgram base = BaseProgram();
+  for (std::uint64_t start = 0; start < base.period(); ++start) {
+    auto cost = NonIndexedAccess(base, 0, start);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_EQ(cost->tuning_time, cost->latency);
+  }
+}
+
+TEST(IndexingTest, IndexSlashesTuningTime) {
+  const BroadcastProgram base = BaseProgram();
+  auto indexed = BuildIndexedProgram(base, {2, 1});
+  ASSERT_TRUE(indexed.ok());
+  auto plain = MeanNonIndexedAccess(base, 0);
+  auto smart = MeanIndexedAccess(*indexed, 0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(smart.ok());
+  // Tuning collapses to roughly probe + index + m target slots (the toy
+  // program is small, so the relative saving is modest; bench_indexing
+  // shows the > 4x savings on realistic sizes).
+  EXPECT_LT(smart->tuning_time, plain.value().tuning_time * 0.75);
+  EXPECT_LE(smart->tuning_time,
+            1.0 + static_cast<double>(indexed->options.index_slots) +
+                static_cast<double>(indexed->program.files()[0].n));
+  // Latency pays only the index-slot overhead factor.
+  EXPECT_LT(smart->latency,
+            plain.value().latency *
+                (1.5 + static_cast<double>(indexed->options.index_slots)));
+}
+
+TEST(IndexingTest, MoreReplicationShortensIndexWait) {
+  const BroadcastProgram base = BaseProgram();
+  // Mean latency-to-completion includes waiting for the index; with more
+  // copies the wait shrinks, though the period grows. Tuning time stays
+  // flat. Compare the extremes.
+  auto sparse = BuildIndexedProgram(base, {1, 2});
+  auto dense = BuildIndexedProgram(base, {6, 2});
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  auto sparse_cost = MeanIndexedAccess(*sparse, 1);
+  auto dense_cost = MeanIndexedAccess(*dense, 1);
+  ASSERT_TRUE(sparse_cost.ok());
+  ASSERT_TRUE(dense_cost.ok());
+  // Tuning time barely changes (within one slot on average).
+  EXPECT_NEAR(sparse_cost->tuning_time, dense_cost->tuning_time, 1.5);
+}
+
+}  // namespace
+}  // namespace bdisk::broadcast

@@ -1,0 +1,175 @@
+// Tests for the nice-conjunct optimizer against the paper's worked
+// Examples 2-6 (Section 4.2), plus system-level conversion.
+
+#include "algebra/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "pinwheel/composite_scheduler.h"
+#include "pinwheel/verifier.h"
+
+namespace bdisk::algebra {
+namespace {
+
+Conversion MustConvert(const BroadcastCondition& bc) {
+  auto conv = NiceConverter::Convert(bc);
+  EXPECT_TRUE(conv.ok()) << conv.status();
+  return *conv;
+}
+
+// Example 2: bc(5, [100,105,110,115,120]); lower bound 0.075; the paper
+// selects TR1's pc(1, 13) with density 0.0769 (within 2.5%).
+TEST(OptimizerTest, PaperExample2) {
+  const Conversion conv = MustConvert({5, {100, 105, 110, 115, 120}});
+  EXPECT_NEAR(conv.density_lower_bound, 0.075, 1e-9);
+  EXPECT_LE(conv.best().density(), 1.0 / 13 + 1e-12);
+  // The paper's achieved overhead: within 2.5% of the lower bound; our
+  // optimizer may only improve on it.
+  EXPECT_LE(conv.OverheadRatio(), 0.0769 / 0.075 + 1e-3);
+}
+
+// Example 3: bc(6, [105,110]); TR1 gives 0.0667, TR2 gives 0.0662 and is
+// selected (within 4.1% of the 0.0636 lower bound).
+TEST(OptimizerTest, PaperExample3) {
+  const Conversion conv = MustConvert({6, {105, 110}});
+  EXPECT_NEAR(conv.density_lower_bound, 7.0 / 110, 1e-9);
+  EXPECT_LE(conv.best().density(), 6.0 / 105 + 1.0 / 110 + 1e-12);
+  // TR1 and TR2 must both be among the candidates with the paper's values.
+  bool saw_tr1 = false;
+  bool saw_tr2 = false;
+  for (const ConversionCandidate& c : conv.candidates) {
+    if (c.strategy == "TR1") {
+      saw_tr1 = true;
+      EXPECT_NEAR(c.density(), 1.0 / 15, 1e-12);
+    }
+    if (c.strategy == "TR2") {
+      saw_tr2 = true;
+      EXPECT_NEAR(c.density(), 6.0 / 105 + 1.0 / 110, 1e-12);
+    }
+  }
+  EXPECT_TRUE(saw_tr1);
+  EXPECT_TRUE(saw_tr2);
+}
+
+// Example 4: bc(4, [8,9]); TR1 = 1.0, TR2 = 0.6111, and the R1+R5
+// manipulation reaches pc(1,2) ∧ pc'(1,10) = 0.6000 (within 4% of 0.5556).
+TEST(OptimizerTest, PaperExample4) {
+  const Conversion conv = MustConvert({4, {8, 9}});
+  EXPECT_NEAR(conv.density_lower_bound, 5.0 / 9, 1e-9);
+  EXPECT_LE(conv.best().density(), 0.6 + 1e-12);
+  EXPECT_GE(conv.best().density(), conv.density_lower_bound - 1e-12);
+}
+
+// Example 5: bc(2, [5,6,6]); the paper reaches pc(2,3), which is optimal
+// (density equals the lower bound 2/3).
+TEST(OptimizerTest, PaperExample5) {
+  const Conversion conv = MustConvert({2, {5, 6, 6}});
+  EXPECT_NEAR(conv.density_lower_bound, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(conv.best().density(), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(conv.OverheadRatio(), 1.0, 1e-9);
+}
+
+// Example 6: bc(1, [2,3]) ≡ pc(1,2) ∧ pc(2,3); pc(2,3) alone (0.6667) is
+// optimal, beating TR2's 0.8333.
+TEST(OptimizerTest, PaperExample6) {
+  const Conversion conv = MustConvert({1, {2, 3}});
+  EXPECT_NEAR(conv.best().density(), 2.0 / 3, 1e-9);
+  // TR2's direct candidate is strictly worse, as the paper notes.
+  for (const ConversionCandidate& c : conv.candidates) {
+    if (c.strategy == "TR2") {
+      EXPECT_NEAR(c.density(), 1.0 / 2 + 1.0 / 3, 1e-12);
+    }
+  }
+}
+
+// Regular files (all latencies equal) should reduce to a single condition
+// with no helpers and no density overhead beyond the condition itself.
+TEST(OptimizerTest, RegularFileIsSingleCondition) {
+  const Conversion conv = MustConvert({3, {12, 12, 12}});
+  // Levels (3,12), (4,12), (5,12): dominated by (5,12). Best possible
+  // density: 5/12.
+  EXPECT_NEAR(conv.density_lower_bound, 5.0 / 12, 1e-9);
+  EXPECT_NEAR(conv.best().density(), 5.0 / 12, 1e-9);
+  EXPECT_EQ(conv.best().conjunct.conditions.size(), 1u);
+}
+
+TEST(OptimizerTest, InvalidConditionRejected) {
+  BroadcastCondition bad{0, {5}};
+  EXPECT_FALSE(NiceConverter::Convert(bad).ok());
+}
+
+// Every candidate the optimizer emits must *provably* imply every level of
+// the original condition (sound conversions only).
+TEST(OptimizerTest, AllCandidatesCoverAllLevels) {
+  const std::vector<BroadcastCondition> cases = {
+      {4, {8, 9}},       {2, {5, 6, 6}},   {1, {2, 3}},
+      {6, {105, 110}},   {3, {12, 15, 20}}, {5, {25, 26, 30, 40}},
+      {2, {4, 9}},       {1, {3}},          {7, {21, 22}},
+  };
+  for (const BroadcastCondition& bc : cases) {
+    const Conversion conv = MustConvert(bc);
+    const auto levels = bc.ToPinwheelConjunct();
+    for (const ConversionCandidate& cand : conv.candidates) {
+      std::vector<PinwheelCondition> raw;
+      for (const MappedCondition& mc : cand.conjunct.conditions) {
+        raw.push_back(mc.condition);
+      }
+      for (const PinwheelCondition& level : levels) {
+        EXPECT_GE(ConjunctGuaranteedCount(raw, level.b), level.a)
+            << bc.ToString() << " candidate " << cand.strategy << " level pc("
+            << level.a << ", " << level.b << ")";
+      }
+    }
+    // And the best never undercuts the density lower bound.
+    EXPECT_GE(conv.best().density(), conv.density_lower_bound - 1e-9);
+  }
+}
+
+// End-to-end: conversions are schedulable and the resulting schedule,
+// with virtual tasks merged per map(), satisfies every bc level.
+TEST(OptimizerTest, ConvertedSystemSchedulesAndSatisfiesBc) {
+  const std::vector<BroadcastCondition> conditions = {
+      {2, {16, 20}}, {1, {8, 12}}, {3, {60, 70, 80}}};
+  auto system = ConvertSystem(conditions);
+  ASSERT_TRUE(system.ok()) << system.status();
+  EXPECT_EQ(system->conversions.size(), 3u);
+  EXPECT_EQ(system->virtual_to_file.size(), system->instance.size());
+
+  pinwheel::CompositeScheduler scheduler;
+  auto schedule = scheduler.BuildSchedule(system->instance);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+
+  // Merge virtual tasks to files and verify bc levels directly.
+  std::vector<pinwheel::TaskId> merged(schedule->period());
+  for (std::uint64_t t = 0; t < schedule->period(); ++t) {
+    const pinwheel::TaskId v = schedule->slots()[t];
+    merged[t] = v == pinwheel::Schedule::kIdle
+                    ? pinwheel::Schedule::kIdle
+                    : system->virtual_to_file[v];
+  }
+  auto merged_schedule = pinwheel::Schedule::FromCycle(std::move(merged));
+  ASSERT_TRUE(merged_schedule.ok());
+  for (std::size_t f = 0; f < conditions.size(); ++f) {
+    for (std::size_t j = 0; j < conditions[f].d.size(); ++j) {
+      EXPECT_GE(pinwheel::Verifier::MinWindowCount(
+                    *merged_schedule, static_cast<pinwheel::TaskId>(f),
+                    conditions[f].d[j]),
+                conditions[f].m + j)
+          << "file " << f << " level " << j;
+    }
+  }
+}
+
+TEST(OptimizerTest, SystemTotalDensity) {
+  const std::vector<BroadcastCondition> conditions = {{1, {4}}, {1, {8}}};
+  auto system = ConvertSystem(conditions);
+  ASSERT_TRUE(system.ok());
+  EXPECT_NEAR(system->total_density(), 0.25 + 0.125, 1e-12);
+}
+
+TEST(OptimizerTest, EmptySystemRejected) {
+  EXPECT_FALSE(ConvertSystem({}).ok());
+}
+
+}  // namespace
+}  // namespace bdisk::algebra

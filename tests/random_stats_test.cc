@@ -1,0 +1,223 @@
+// Unit tests for the common RNG and statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace bdisk {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesRate) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.15);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<std::size_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), 7u);
+    for (std::size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RngTest, SampleFullRange) {
+  Rng rng(37);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s, (std::set<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Population variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble() * 10;
+    if (i % 2 == 0) {
+      a.Add(x);
+    } else {
+      b.Add(x);
+    }
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(HistogramTest, CountsAndOverflow) {
+  Histogram h(10);
+  h.Add(0);
+  h.Add(5);
+  h.Add(5);
+  h.Add(10);
+  h.Add(11);
+  h.Add(1000);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.CountAt(5), 2u);
+  EXPECT_EQ(h.CountAt(10), 1u);
+  EXPECT_EQ(h.OverflowCount(), 2u);
+}
+
+TEST(HistogramTest, Quantiles) {
+  Histogram h(100);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Quantile(0.5), 50u);
+  EXPECT_EQ(h.Quantile(0.99), 99u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+  EXPECT_EQ(h.Quantile(0.0), 1u);  // Smallest value covering >= 0 share.
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(4);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(GcdLcmTest, Gcd) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(7, 13), 1u);
+  EXPECT_EQ(Gcd(0, 5), 5u);
+  EXPECT_EQ(Gcd(5, 0), 5u);
+  EXPECT_EQ(Gcd(48, 48), 48u);
+}
+
+TEST(GcdLcmTest, LcmBasics) {
+  EXPECT_EQ(LcmCapped(4, 6), 12u);
+  EXPECT_EQ(LcmCapped(1, 9), 9u);
+  EXPECT_EQ(LcmCapped(8, 8), 8u);
+}
+
+TEST(GcdLcmTest, LcmSaturatesAtCap) {
+  EXPECT_EQ(LcmCapped(1000000007ULL, 998244353ULL, 1000), 1000u);
+}
+
+}  // namespace
+}  // namespace bdisk

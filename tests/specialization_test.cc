@@ -1,0 +1,94 @@
+// Unit tests for window-size specialization helpers.
+
+#include "pinwheel/specialization.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bdisk::pinwheel {
+namespace {
+
+TEST(SpecializationTest, LargestPowerOfTwoAtMost) {
+  EXPECT_EQ(LargestPowerOfTwoAtMost(1), 1u);
+  EXPECT_EQ(LargestPowerOfTwoAtMost(2), 2u);
+  EXPECT_EQ(LargestPowerOfTwoAtMost(3), 2u);
+  EXPECT_EQ(LargestPowerOfTwoAtMost(4), 4u);
+  EXPECT_EQ(LargestPowerOfTwoAtMost(1023), 512u);
+  EXPECT_EQ(LargestPowerOfTwoAtMost(1024), 1024u);
+}
+
+TEST(SpecializationTest, LargestChainValueAtMost) {
+  EXPECT_EQ(LargestChainValueAtMost(3, 2), std::nullopt);
+  EXPECT_EQ(LargestChainValueAtMost(3, 3), 3u);
+  EXPECT_EQ(LargestChainValueAtMost(3, 5), 3u);
+  EXPECT_EQ(LargestChainValueAtMost(3, 6), 6u);
+  EXPECT_EQ(LargestChainValueAtMost(3, 13), 12u);
+  EXPECT_EQ(LargestChainValueAtMost(1, 13), 8u);
+}
+
+TEST(SpecializationTest, LargestSmoothValueAtMost) {
+  // x = 1: 3-smooth numbers 1,2,3,4,6,8,9,12,16,18,24,27,...
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 5), 4u);
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 6), 6u);
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 11), 9u);
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 13), 12u);
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 17), 16u);
+  EXPECT_EQ(LargestSmoothValueAtMost(1, 23), 18u);
+  // x = 5: values 5,10,15,20,30,40,45,...
+  EXPECT_EQ(LargestSmoothValueAtMost(5, 4), std::nullopt);
+  EXPECT_EQ(LargestSmoothValueAtMost(5, 29), 20u);
+  EXPECT_EQ(LargestSmoothValueAtMost(5, 30), 30u);
+}
+
+TEST(SpecializationTest, SmoothAtLeastChain) {
+  // The 3-smooth set is a superset of the chain, so its rounding is never
+  // worse.
+  for (std::uint64_t x : {1ULL, 2ULL, 3ULL, 5ULL, 7ULL}) {
+    for (std::uint64_t b = x; b < x + 200; ++b) {
+      auto chain = LargestChainValueAtMost(x, b);
+      auto smooth = LargestSmoothValueAtMost(x, b);
+      ASSERT_TRUE(chain.has_value());
+      ASSERT_TRUE(smooth.has_value());
+      EXPECT_GE(*smooth, *chain) << "x=" << x << " b=" << b;
+      EXPECT_LE(*smooth, b);
+    }
+  }
+}
+
+TEST(SpecializationTest, PowerOfTwoLosesAtMostHalf) {
+  for (std::uint64_t b = 1; b <= 4096; ++b) {
+    const std::uint64_t p = LargestPowerOfTwoAtMost(b);
+    EXPECT_LE(p, b);
+    EXPECT_GT(2 * p, b);  // Rounds down by strictly less than 2x.
+  }
+}
+
+TEST(SpecializationTest, ChainBaseCandidatesContainAllHalvings) {
+  const auto candidates = ChainBaseCandidates({12, 7});
+  // 12 -> 12,6,3,1; 7 -> 7,3,1.
+  const std::vector<std::uint64_t> expected{1, 3, 6, 7, 12};
+  EXPECT_EQ(candidates, expected);
+}
+
+TEST(SpecializationTest, SmoothBaseCandidatesIncludeChainCandidates) {
+  const auto chain = ChainBaseCandidates({36});
+  const auto smooth = SmoothBaseCandidates({36});
+  for (std::uint64_t c : chain) {
+    EXPECT_TRUE(std::find(smooth.begin(), smooth.end(), c) != smooth.end())
+        << c;
+  }
+  // 36/3 = 12 and 36/9 = 4 must be present too.
+  EXPECT_TRUE(std::find(smooth.begin(), smooth.end(), 12) != smooth.end());
+  EXPECT_TRUE(std::find(smooth.begin(), smooth.end(), 4) != smooth.end());
+}
+
+TEST(SpecializationTest, CandidatesSortedAndUnique) {
+  const auto c = SmoothBaseCandidates({24, 24, 10});
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1], c[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::pinwheel

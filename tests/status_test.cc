@@ -1,0 +1,146 @@
+// Unit tests for bdisk::Status / bdisk::Result.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bdisk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsSetCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::InvalidArgument("the message");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "the message");
+  EXPECT_EQ(s.ToString(), "Invalid argument: the message");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::Infeasible("nope");
+  Status b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(b.IsInfeasible());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("task 3").WithContext("lookup");
+  EXPECT_EQ(s.message(), "lookup: task 3");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, OkWithMessageDegradesToInternal) {
+  Status s(StatusCode::kOk, "should not happen");
+  EXPECT_TRUE(s.IsInternal());
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream oss;
+  oss << Status::DataLoss("bits fell out");
+  EXPECT_EQ(oss.str(), "Data loss: bits fell out");
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "Not implemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, OkStatusInResultBecomesInternal) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingHelper() { return Status::Infeasible("inner"); }
+
+Status PropagatingFunction() {
+  BDISK_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("should not reach");
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  Status s = PropagatingFunction();
+  EXPECT_TRUE(s.IsInfeasible());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Result<int> ProducesValue() { return 5; }
+Result<int> ProducesError() { return Status::DataLoss("bad"); }
+
+Status AssignOrReturnUser(bool fail, int* out) {
+  BDISK_ASSIGN_OR_RETURN(int v, fail ? ProducesError() : ProducesValue());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnAssignsOnSuccess) {
+  int out = 0;
+  ASSERT_TRUE(AssignOrReturnUser(false, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status s = AssignOrReturnUser(true, &out);
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace bdisk

@@ -1,0 +1,89 @@
+// Fuzz-style cross-validation of the verifier's windowed counting against
+// a naive brute-force reference, over random schedules and window sizes
+// (including windows far beyond the period).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pinwheel/schedule.h"
+#include "pinwheel/verifier.h"
+
+namespace bdisk::pinwheel {
+namespace {
+
+// Reference implementation: literally materialize the repeated schedule
+// and slide the window.
+std::uint64_t BruteMinWindowCount(const Schedule& s, TaskId id,
+                                  std::uint64_t window) {
+  const std::uint64_t period = s.period();
+  std::uint64_t best = UINT64_MAX;
+  for (std::uint64_t start = 0; start < period; ++start) {
+    std::uint64_t count = 0;
+    for (std::uint64_t k = 0; k < window; ++k) {
+      if (s.At(start + k) == id) ++count;
+    }
+    best = std::min(best, count);
+  }
+  return best;
+}
+
+TEST(VerifierFuzzTest, MatchesBruteForceOnRandomSchedules) {
+  Rng rng(314159);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::uint64_t period = 1 + rng.Uniform(24);
+    const std::uint32_t n_tasks = 1 + static_cast<std::uint32_t>(rng.Uniform(4));
+    std::vector<TaskId> cycle(period);
+    for (auto& slot : cycle) {
+      const std::uint64_t pick = rng.Uniform(n_tasks + 1);
+      slot = pick == n_tasks ? Schedule::kIdle
+                             : static_cast<TaskId>(pick);
+    }
+    auto schedule = Schedule::FromCycle(cycle);
+    ASSERT_TRUE(schedule.ok());
+    for (TaskId id = 0; id < n_tasks; ++id) {
+      for (std::uint64_t window :
+           {std::uint64_t{1}, std::uint64_t{2}, period, period + 1,
+            2 * period, 2 * period + 3, 5 * period + 1}) {
+        std::uint64_t worst = 0;
+        const std::uint64_t fast =
+            Verifier::MinWindowCount(*schedule, id, window, &worst);
+        const std::uint64_t brute =
+            BruteMinWindowCount(*schedule, id, window);
+        ASSERT_EQ(fast, brute)
+            << "trial " << trial << " period " << period << " task " << id
+            << " window " << window << " schedule " << schedule->ToString();
+        // The reported worst start must achieve the minimum.
+        std::uint64_t at_worst = 0;
+        for (std::uint64_t k = 0; k < window; ++k) {
+          if (schedule->At(worst + k) == id) ++at_worst;
+        }
+        ASSERT_EQ(at_worst, fast);
+      }
+    }
+  }
+}
+
+TEST(VerifierFuzzTest, MaxGapConsistentWithWindowCounts) {
+  // pc(1, g) holds iff g >= MaxGapOf: cross-check on random schedules.
+  Rng rng(2718);
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::uint64_t period = 2 + rng.Uniform(20);
+    std::vector<TaskId> cycle(period, Schedule::kIdle);
+    // Ensure task 1 appears at least once.
+    cycle[rng.Uniform(period)] = 1;
+    for (auto& slot : cycle) {
+      if (slot == Schedule::kIdle && rng.Bernoulli(0.4)) slot = 1;
+    }
+    auto schedule = Schedule::FromCycle(cycle);
+    ASSERT_TRUE(schedule.ok());
+    auto gap = schedule->MaxGapOf(1);
+    ASSERT_TRUE(gap.ok());
+    EXPECT_GE(Verifier::MinWindowCount(*schedule, 1, *gap), 1u);
+    if (*gap > 1) {
+      EXPECT_EQ(Verifier::MinWindowCount(*schedule, 1, *gap - 1), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::pinwheel

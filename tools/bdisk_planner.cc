@@ -1,0 +1,139 @@
+// bdisk_planner — command-line broadcast-disk planner.
+//
+// Reads a workload spec (see src/bdisk/spec_parser.h for the format) from
+// a file or stdin, plans the broadcast program, and prints: the bandwidth
+// arithmetic (paper Eq. (2)), the chosen block size (byte-domain specs),
+// the per-file pinwheel-algebra conversions (slot-domain specs), the
+// program layout, and the exact worst-case retrieval latency per fault
+// level.
+//
+// Usage:
+//   bdisk_planner workload.spec
+//   bdisk_planner - < workload.spec
+//
+// Example byte-domain spec:
+//   channel 196608
+//   file nav     bytes=16384 latency=0.5 faults=1
+//   file weather bytes=8192  latency=2.0 faults=1
+//
+// Example slot-domain (generalized) spec:
+//   gfile incidents blocks=2 latencies=12,14,16
+//   gfile maps      blocks=8 latencies=150,170
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bdisk/bandwidth.h"
+#include "bdisk/block_size.h"
+#include "bdisk/delay_analysis.h"
+#include "bdisk/pinwheel_builder.h"
+#include "bdisk/spec_parser.h"
+#include "pinwheel/composite_scheduler.h"
+
+namespace {
+
+using namespace bdisk::broadcast;  // NOLINT
+
+void PrintProgram(const BuildResult& result) {
+  const BroadcastProgram& p = result.program;
+  std::printf("\nprogram: period %llu slots, data cycle %llu, utilization "
+              "%.0f%%, scheduled density %.3f\n",
+              static_cast<unsigned long long>(p.period()),
+              static_cast<unsigned long long>(p.DataCycleLength()),
+              100.0 * p.Utilization(), result.scheduled_density);
+  DelayAnalyzer analyzer(p);
+  std::printf("%-16s %4s %4s %10s %8s  worst-case latency per fault level\n",
+              "file", "m", "n", "slots/per", "max gap");
+  for (FileIndex f = 0; f < p.file_count(); ++f) {
+    const ProgramFile& pf = p.files()[f];
+    std::printf("%-16s %4u %4u %10llu %8llu ", pf.name.c_str(), pf.m, pf.n,
+                static_cast<unsigned long long>(p.CountOf(f)),
+                static_cast<unsigned long long>(p.MaxGapOf(f)));
+    for (std::size_t j = 0; j < pf.latency_slots.size(); ++j) {
+      auto latency = analyzer.WorstCaseLatency(
+          f, static_cast<std::uint32_t>(j), ClientModel::kIda);
+      if (latency.ok()) {
+        std::printf(" %llu<=%llu",
+                    static_cast<unsigned long long>(*latency),
+                    static_cast<unsigned long long>(pf.latency_slots[j]));
+      }
+    }
+    std::printf("\n");
+  }
+  if (!result.conversions.empty()) {
+    std::printf("\npinwheel-algebra conversions:\n");
+    for (std::size_t f = 0; f < result.conversions.size(); ++f) {
+      const auto& conv = result.conversions[f];
+      std::printf("  %-16s %-26s -> %-8s density %.4f (lower bound %.4f)\n",
+                  p.files()[f].name.c_str(), conv.bc.ToString().c_str(),
+                  conv.best().strategy.c_str(), conv.best().density(),
+                  conv.density_lower_bound);
+    }
+  }
+}
+
+int Plan(const std::string& text) {
+  auto spec = ParseWorkloadSpec(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  bdisk::pinwheel::CompositeScheduler scheduler;
+
+  if (spec->IsByteDomain()) {
+    std::printf("byte-domain workload: %zu files, channel %llu bytes/s\n",
+                spec->byte_files.size(),
+                static_cast<unsigned long long>(
+                    spec->channel_bytes_per_second));
+    std::vector<std::uint64_t> ladder;
+    if (spec->block_size != 0) ladder.push_back(spec->block_size);
+    auto choice = ChooseLargestFeasibleBlockSize(
+        spec->byte_files, spec->channel_bytes_per_second, scheduler,
+        std::move(ladder));
+    if (!choice.ok()) {
+      std::fprintf(stderr, "infeasible: %s\n",
+                   choice.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("block size: %llu bytes  =>  bandwidth %llu blocks/s\n",
+                static_cast<unsigned long long>(choice->block_size),
+                static_cast<unsigned long long>(
+                    choice->bandwidth_blocks_per_second));
+    PrintProgram(choice->build);
+    return 0;
+  }
+
+  std::printf("slot-domain workload: %zu generalized files\n",
+              spec->generalized_files.size());
+  auto result = BuildGeneralizedProgram(spec->generalized_files, scheduler);
+  if (!result.ok()) {
+    std::fprintf(stderr, "infeasible: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintProgram(*result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <spec-file | ->\n", argv[0]);
+    return 2;
+  }
+  std::ostringstream text;
+  if (std::string(argv[1]) == "-") {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      return 2;
+    }
+    text << in.rdbuf();
+  }
+  return Plan(text.str());
+}
