@@ -3,7 +3,8 @@
 /// library.
 ///
 /// Include this for applications; include individual headers for faster
-/// builds. See README.md for a tour and DESIGN.md for the architecture.
+/// builds. See README.md for a tour and docs/ARCHITECTURE.md for the
+/// layer dependency graph and error-handling conventions.
 
 #ifndef BDISK_BDISK_H_
 #define BDISK_BDISK_H_
@@ -15,6 +16,7 @@
 
 // Information dispersal (Rabin's IDA + Bestavros' AIDA).
 #include "gf/gf256.h"         // IWYU pragma: export
+#include "gf/gf_bulk.h"       // IWYU pragma: export
 #include "gf/matrix.h"        // IWYU pragma: export
 #include "ida/aida.h"         // IWYU pragma: export
 #include "ida/block.h"        // IWYU pragma: export

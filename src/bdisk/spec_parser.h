@@ -12,6 +12,9 @@
 /// and a fault count; `gfile` lines describe slot-domain files with a full
 /// latency vector (slots), the paper's generalized model. A spec uses one
 /// domain or the other, not both.
+///
+/// The full grammar, attribute tables, and error behaviour are documented
+/// in docs/SPEC_FORMAT.md.
 
 #ifndef BDISK_BDISK_SPEC_PARSER_H_
 #define BDISK_BDISK_SPEC_PARSER_H_

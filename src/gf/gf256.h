@@ -9,6 +9,9 @@
 ///
 /// Multiplication and inversion are table-driven via discrete logarithms with
 /// generator 3; tables are built once at static-initialization time.
+///
+/// These are the scalar (per-element) operations; whole-block columns — the
+/// IDA hot path — use the bulk kernels in gf/gf_bulk.h instead.
 
 #ifndef BDISK_GF_GF256_H_
 #define BDISK_GF_GF256_H_

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "gf/gf_bulk.h"
 
 namespace bdisk::gf {
 
@@ -99,6 +100,11 @@ const std::uint8_t* Matrix::RowData(std::size_t r) const {
   return data_.data() + r * cols_;
 }
 
+std::uint8_t* Matrix::MutableRowData(std::size_t r) {
+  BDISK_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
 Result<Matrix> Matrix::Mul(const Matrix& other) const {
   if (cols_ != other.rows_) {
     return Status::InvalidArgument("Matrix::Mul: shape mismatch " +
@@ -158,19 +164,14 @@ Result<Matrix> Matrix::Inverse() const {
     }
     // Normalize the pivot row.
     const std::uint8_t p_inv = GF256::Inv(a.At(col, col));
-    for (std::size_t j = 0; j < n; ++j) {
-      a.Set(col, j, GF256::Mul(a.At(col, j), p_inv));
-      inv.Set(col, j, GF256::Mul(inv.At(col, j), p_inv));
-    }
+    GFBulk::MulRow(a.MutableRowData(col), a.RowData(col), p_inv, n);
+    GFBulk::MulRow(inv.MutableRowData(col), inv.RowData(col), p_inv, n);
     // Eliminate the column everywhere else.
     for (std::size_t r = 0; r < n; ++r) {
       if (r == col) continue;
       const std::uint8_t f = a.At(r, col);
-      if (f == 0) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        a.Set(r, j, GF256::Add(a.At(r, j), GF256::Mul(f, a.At(col, j))));
-        inv.Set(r, j, GF256::Add(inv.At(r, j), GF256::Mul(f, inv.At(col, j))));
-      }
+      GFBulk::MulRowAccumulate(a.MutableRowData(r), a.RowData(col), f, n);
+      GFBulk::MulRowAccumulate(inv.MutableRowData(r), inv.RowData(col), f, n);
     }
   }
   return inv;
@@ -189,16 +190,11 @@ std::size_t Matrix::Rank() const {
       }
     }
     const std::uint8_t p_inv = GF256::Inv(a.At(rank, col));
-    for (std::size_t j = 0; j < cols_; ++j) {
-      a.Set(rank, j, GF256::Mul(a.At(rank, j), p_inv));
-    }
+    GFBulk::MulRow(a.MutableRowData(rank), a.RowData(rank), p_inv, cols_);
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == rank) continue;
-      const std::uint8_t f = a.At(r, col);
-      if (f == 0) continue;
-      for (std::size_t j = 0; j < cols_; ++j) {
-        a.Set(r, j, GF256::Add(a.At(r, j), GF256::Mul(f, a.At(rank, j))));
-      }
+      GFBulk::MulRowAccumulate(a.MutableRowData(r), a.RowData(rank),
+                               a.At(r, col), cols_);
     }
     ++rank;
   }

@@ -59,6 +59,8 @@ class Matrix {
 
   /// Pointer to the start of row `r` (row-major contiguous storage).
   const std::uint8_t* RowData(std::size_t r) const;
+  /// Mutable pointer to the start of row `r`.
+  std::uint8_t* MutableRowData(std::size_t r);
 
   /// Matrix product this * other. Fails on shape mismatch.
   Result<Matrix> Mul(const Matrix& other) const;

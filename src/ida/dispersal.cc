@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "gf/gf_bulk.h"
 
 namespace bdisk::ida {
 
@@ -49,17 +50,9 @@ Result<std::vector<Block>> Dispersal::Disperse(
     const std::uint8_t* row = dispersal_matrix_.RowData(i);
     std::uint8_t* dst = out[i].payload.data();
     for (std::uint32_t j = 0; j < m_; ++j) {
-      const std::uint8_t coef = row[j];
-      if (coef == 0) continue;
       const std::uint8_t* src = file.data() + static_cast<std::size_t>(j) *
                                                   block_size_;
-      if (coef == 1) {
-        for (std::size_t k = 0; k < block_size_; ++k) dst[k] ^= src[k];
-      } else {
-        for (std::size_t k = 0; k < block_size_; ++k) {
-          dst[k] ^= gf::GF256::Mul(coef, src[k]);
-        }
-      }
+      gf::GFBulk::MulRowAccumulate(dst, src, row[j], block_size_);
     }
   }
   return out;
@@ -145,16 +138,8 @@ Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
     std::uint8_t* dst = file.data() + static_cast<std::size_t>(j) * block_size_;
     const std::uint8_t* inv_row = inverse->RowData(j);
     for (std::uint32_t i = 0; i < m_; ++i) {
-      const std::uint8_t coef = inv_row[i];
-      if (coef == 0) continue;
-      const std::uint8_t* src = sorted_blocks[i]->payload.data();
-      if (coef == 1) {
-        for (std::size_t k = 0; k < block_size_; ++k) dst[k] ^= src[k];
-      } else {
-        for (std::size_t k = 0; k < block_size_; ++k) {
-          dst[k] ^= gf::GF256::Mul(coef, src[k]);
-        }
-      }
+      gf::GFBulk::MulRowAccumulate(dst, sorted_blocks[i]->payload.data(),
+                                   inv_row[i], block_size_);
     }
   }
   return file;

@@ -13,6 +13,10 @@
 /// the first m dispersed blocks literal copies of the data blocks, which is
 /// convenient for incremental reads and matches the paper's Figure 6 example
 /// (blocks A'_1..A'_10 where any 5 reconstruct A).
+///
+/// The per-byte matrix product runs on the bulk GF(2^8) kernels
+/// (gf/gf_bulk.h): one table lookup + one XOR per byte, with the systematic
+/// identity rows lowered to word-wide copies/XORs.
 
 #ifndef BDISK_IDA_DISPERSAL_H_
 #define BDISK_IDA_DISPERSAL_H_

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/random.h"
+#include "gf/gf256.h"
+#include "gf/matrix.h"
 #include "ida/aida.h"
 #include "ida/block.h"
 #include "ida/dispersal.h"
@@ -302,6 +304,38 @@ TEST(PaperExampleTest, Figure6Geometries) {
   auto rec_b = b->Reconstruct(some);
   ASSERT_TRUE(rec_b.ok());
   EXPECT_EQ(*rec_b, file_b);
+}
+
+TEST(DispersalTest, DisperseMatchesMulSlowReferenceByteIdentically) {
+  // The dispersed blocks are a wire format: block i, byte k must equal
+  // sum_j M[i][j] * file_j[k] with M = SystematicCauchy(n, m), computed
+  // here with the bitwise MulSlow oracle. This pins the encoding against
+  // changes to the bulk GF(2^8) kernels that back Disperse.
+  const std::uint32_t m = 5;
+  const std::uint32_t n = 11;
+  const std::size_t block_size = 96;
+  auto engine = Dispersal::Create(m, n, block_size);
+  ASSERT_TRUE(engine.ok());
+  Rng rng(20260728);
+  const auto file = RandomFile(m * block_size, &rng);
+  auto blocks = engine->Disperse(7, file, 3);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), n);
+
+  auto matrix = gf::Matrix::SystematicCauchy(n, m);
+  ASSERT_TRUE(matrix.ok());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Block& blk = (*blocks)[i];
+    ASSERT_EQ(blk.payload.size(), block_size);
+    for (std::size_t k = 0; k < block_size; ++k) {
+      std::uint8_t expected = 0;
+      for (std::uint32_t j = 0; j < m; ++j) {
+        expected ^= gf::GF256::MulSlow(matrix->At(i, j),
+                                       file[j * block_size + k]);
+      }
+      ASSERT_EQ(blk.payload[k], expected) << "block=" << i << " byte=" << k;
+    }
+  }
 }
 
 }  // namespace

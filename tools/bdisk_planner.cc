@@ -1,6 +1,6 @@
 // bdisk_planner — command-line broadcast-disk planner.
 //
-// Reads a workload spec (see src/bdisk/spec_parser.h for the format) from
+// Reads a workload spec (see docs/SPEC_FORMAT.md for the grammar) from
 // a file or stdin, plans the broadcast program, and prints: the bandwidth
 // arithmetic (paper Eq. (2)), the chosen block size (byte-domain specs),
 // the per-file pinwheel-algebra conversions (slot-domain specs), the
