@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bdisk/bandwidth.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "pinwheel/composite_scheduler.h"
@@ -78,6 +79,11 @@ int main() {
               eq2_ratio.mean(), eq2_ratio.max());
   std::printf("achieved/lower: mean %.3f max %.3f\n", achieved_ratio.mean(),
               achieved_ratio.max());
+  benchutil::EmitJson("bench_bandwidth", "eq2_over_lower_mean",
+                      eq2_ratio.mean(), 1);
+  benchutil::EmitJson("bench_bandwidth", "achieved_over_lower_mean",
+                      achieved_ratio.mean(), 1);
+  benchutil::EmitJson("bench_bandwidth", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape checks (achieved <= Eq.(2) bandwidth on every case): "
               "%s\n",
               ok ? "PASS" : "FAIL");

@@ -17,6 +17,7 @@
 
 #include "bdisk/delay_analysis.h"
 #include "bdisk/pinwheel_builder.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "ida/dispersal.h"
 #include "pinwheel/composite_scheduler.h"
@@ -99,6 +100,8 @@ int main() {
                 latency.ok() ? static_cast<unsigned long long>(*latency) : 0,
                 ms, recon_us);
   }
+  benchutil::EmitJson("bench_block_size", "shape_ok", any_feasible ? 1 : 0,
+                      1);
   std::printf("\nreading: the largest feasible block size minimizes CPU "
               "cost; smaller blocks raise m (finer fault tolerance, higher "
               "O(m^2) reconstruction cost). Latency is in slots and ms at "

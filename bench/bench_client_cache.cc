@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bdisk/multi_disk.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "sim/cache.h"
@@ -113,6 +114,7 @@ int main() {
     ok &= lru <= none + 1e-9;
     ok &= pix <= lru * 1.05;  // PIX at least competitive, usually better.
   }
+  benchutil::EmitJson("bench_client_cache", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape checks (caching helps; PIX >= LRU within noise): "
               "%s\n",
               ok ? "PASS" : "FAIL");

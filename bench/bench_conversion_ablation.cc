@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algebra/optimizer.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/stats.h"
 
@@ -88,6 +89,9 @@ int main() {
               "(1.0 = provably optimal). The portfolio dominates every "
               "individual strategy by construction; 'wins' counts where a "
               "strategy supplied the selected conjunct.\n");
+  benchutil::EmitJson("bench_conversion_ablation", "portfolio_mean_overhead",
+                      full_overhead.mean(), 1);
+  benchutil::EmitJson("bench_conversion_ablation", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape check (portfolio mean overhead < 1.25): %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

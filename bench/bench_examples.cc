@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "algebra/optimizer.h"
+#include "bench_util.h"
 #include "pinwheel/exact_scheduler.h"
 #include "pinwheel/verifier.h"
 
@@ -87,6 +88,7 @@ int main() {
   // Example 6: paper best 2/3 via pc(2,3); TR2 would be 0.8333.
   ok &= CheckExample("Example 6", {1, {2, 3}}, 2.0 / 3, 2.0 / 3);
 
+  benchutil::EmitJson("bench_examples", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\noverall: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

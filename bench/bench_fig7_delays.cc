@@ -21,6 +21,7 @@
 
 #include "bdisk/delay_analysis.h"
 #include "bdisk/flat_builder.h"
+#include "bench_util.h"
 
 namespace {
 
@@ -98,6 +99,7 @@ int main() {
       ok &= ida_b.ok() && *ida_b <= ida_analyzer.Lemma2Bound(1, r);
     }
   }
+  benchutil::EmitJson("bench_fig7_delays", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape checks (Lemma 1 tight; IDA < flat; Lemma 2 bound): %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

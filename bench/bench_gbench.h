@@ -1,0 +1,54 @@
+// Google-benchmark glue shared by the gbench-based benches: console output
+// plus one machine-readable JSON line per run (real time, and bytes/s
+// where the run processed bytes), replacing BENCHMARK_MAIN().
+
+#ifndef BDISK_BENCH_BENCH_GBENCH_H_
+#define BDISK_BENCH_BENCH_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace benchutil {
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLineReporter(const char* bench_name)
+      : bench_name_(bench_name) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      EmitJson(bench_name_, (run.benchmark_name() + ":real_time_ns").c_str(),
+               run.GetAdjustedRealTime(), 1);
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        EmitJson(bench_name_,
+                 (run.benchmark_name() + ":bytes_per_second").c_str(),
+                 bytes->second, 1);
+      }
+    }
+  }
+
+ private:
+  const char* bench_name_;
+};
+
+/// Drop-in BENCHMARK_MAIN() body that reports through JsonLineReporter.
+inline int RunGoogleBenchmarks(int argc, char** argv,
+                               const char* bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace benchutil
+
+#endif  // BDISK_BENCH_BENCH_GBENCH_H_

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_gbench.h"
 #include "common/random.h"
 #include "gf/gf256.h"
 #include "gf/gf_bulk.h"
@@ -90,4 +91,6 @@ BENCHMARK(BM_BulkXorRow)->Arg(1 << 14)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::RunGoogleBenchmarks(argc, argv, "bench_gf_bulk");
+}

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "bench_gbench.h"
 #include "common/random.h"
 #include "ida/dispersal.h"
 
@@ -143,4 +144,6 @@ BENCHMARK(BM_GaussJordanInversion)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return benchutil::RunGoogleBenchmarks(argc, argv, "bench_ida");
+}

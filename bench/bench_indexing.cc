@@ -12,6 +12,7 @@
 
 #include "bdisk/flat_builder.h"
 #include "bdisk/indexing.h"
+#include "bench_util.h"
 
 namespace {
 
@@ -56,6 +57,9 @@ int main() {
                 cost->tuning_time);
     ok &= cost->tuning_time < plain->tuning_time / 2;
   }
+  benchutil::EmitJson("bench_indexing", "plain_tuning_slots",
+                      plain->tuning_time, 1);
+  benchutil::EmitJson("bench_indexing", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape check (indexing cuts tuning time by > 2x at every "
               "replication): %s\n",
               ok ? "PASS" : "FAIL");

@@ -14,6 +14,7 @@
 
 #include "bdisk/delay_analysis.h"
 #include "bdisk/flat_builder.h"
+#include "bench_util.h"
 
 namespace {
 
@@ -115,6 +116,7 @@ int main() {
     std::printf("\n");
   }
 
+  benchutil::EmitJson("bench_lemma_bounds", "shape_ok", ok ? 1 : 0, 1);
   std::printf("shape checks (delay <= bound for every file and r; "
               "AIDA <= flat): %s\n",
               ok ? "PASS" : "FAIL");

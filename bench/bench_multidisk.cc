@@ -20,6 +20,7 @@
 #include "bdisk/delay_analysis.h"
 #include "bdisk/multi_disk.h"
 #include "bdisk/pinwheel_builder.h"
+#include "bench_util.h"
 #include "pinwheel/composite_scheduler.h"
 
 namespace {
@@ -106,6 +107,7 @@ int main() {
     auto worst = analyzer.WorstCaseLatency(f, 1, ClientModel::kIda);
     ok &= worst.ok() && *worst <= kItems[f].deadline_slots;
   }
+  benchutil::EmitJson("bench_multidisk", "shape_ok", ok ? 1 : 0, 1);
   std::printf("shape check (pinwheel build meets every 1-fault deadline): "
               "%s\n",
               ok ? "PASS" : "FAIL");

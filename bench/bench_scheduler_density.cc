@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "pinwheel/chain_schedulers.h"
 #include "pinwheel/exact_scheduler.h"
@@ -105,6 +106,7 @@ int main() {
               "earliest. (Sxy's richer window set can lose to Sx when its "
               "non-chain residue allocation fails; the composite portfolio "
               "takes whichever succeeds.)\n");
+  benchutil::EmitJson("bench_scheduler_density", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nconsistency checks: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -4,9 +4,12 @@
 // (Gilbert-Elliott) losses.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bdisk/flat_builder.h"
+#include "bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -33,13 +36,15 @@ struct Row {
   double miss_rate = 0.0;
 };
 
+bdisk::runtime::ThreadPool* g_pool = nullptr;
+
 Row Run(const BroadcastProgram& p, FaultModel* faults, ClientModel model) {
   Simulator sim(p, faults, 200000);
   WorkloadConfig config;
   config.requests_per_file = 2000;
   config.model = model;
   config.seed = 99;
-  auto metrics = sim.RunWorkload(config);
+  auto metrics = sim.RunWorkload(config, g_pool);
   if (!metrics.ok()) {
     std::fprintf(stderr, "workload failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -51,19 +56,26 @@ Row Run(const BroadcastProgram& p, FaultModel* faults, ClientModel model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = benchutil::ThreadsFlag(argc, argv);
+  std::unique_ptr<bdisk::runtime::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<bdisk::runtime::ThreadPool>(threads);
+    g_pool = pool.get();
+  }
   const BroadcastProgram ida = Build(true);
   const BroadcastProgram flat = Build(false);
   std::printf("E8 / simulated latency and miss rate vs channel error rate\n");
   std::printf("6 files x 8 blocks, period %llu, deadline 96 slots, "
-              "12000 retrievals per point\n\n",
-              static_cast<unsigned long long>(ida.period()));
+              "12000 retrievals per point, %u thread(s)\n\n",
+              static_cast<unsigned long long>(ida.period()), threads);
 
   std::printf("--- independent losses (Bernoulli; the paper's channel "
               "model) ---\n");
   std::printf("%-8s %-28s %-28s\n", "p_loss", "AIDA mean/max/miss",
               "flat mean/max/miss");
   bool ok = true;
+  Row last_aida;
   for (double p_loss : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
     BernoulliFaultModel f1(p_loss, 4242);
     const Row a = Run(ida, &f1, ClientModel::kIda);
@@ -77,7 +89,12 @@ int main() {
       ok &= a.mean_latency <= b.mean_latency + 1e-9;
       ok &= a.miss_rate <= b.miss_rate + 1e-9;
     }
+    last_aida = a;
   }
+  benchutil::EmitJson("bench_sim_latency", "aida_mean_latency_40pct_loss",
+                      last_aida.mean_latency, threads);
+  benchutil::EmitJson("bench_sim_latency", "aida_miss_rate_40pct_loss",
+                      last_aida.miss_rate, threads);
 
   std::printf("\n--- bursty losses (Gilbert-Elliott, mean burst 5 slots) "
               "---\n");
@@ -99,6 +116,7 @@ int main() {
     ok &= a.mean_latency <= b.mean_latency + 1e-9;
   }
 
+  benchutil::EmitJson("bench_sim_latency", "shape_ok", ok ? 1 : 0, threads);
   std::printf("\nshape checks (AIDA <= flat on mean latency and miss "
               "rate at every error rate): %s\n",
               ok ? "PASS" : "FAIL");

@@ -13,6 +13,7 @@
 
 #include "bdisk/delay_analysis.h"
 #include "bdisk/flat_builder.h"
+#include "bench_util.h"
 #include "common/stats.h"
 #include "sim/versioned.h"
 
@@ -82,6 +83,7 @@ int main() {
               "drops below the retrieval time, clients restart forever — "
               "the temporal-consistency feasibility constraint the "
               "paper's deadline guarantees protect against.\n");
+  benchutil::EmitJson("bench_temporal", "shape_ok", ok ? 1 : 0, 1);
   std::printf("\nshape checks (always complete when interval >= worst-case "
               "retrieval; starve when below collection time): %s\n",
               ok ? "PASS" : "FAIL");

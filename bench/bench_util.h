@@ -1,0 +1,33 @@
+// Shared helpers for the bench executables (header-only: bench/*.cc each
+// build into their own binary, so there is no bench library to link).
+//
+// Every bench emits at least one machine-readable line of the form
+//   {"bench":"bench_ida","metric":"disperse_MBps","value":123.4,"threads":1}
+// on stdout, so CI runs can be scraped into BENCH_*.json trajectory files
+// with `grep '^{"bench"'`. Human-readable tables remain unchanged around
+// these lines.
+
+#ifndef BDISK_BENCH_BENCH_UTIL_H_
+#define BDISK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "runtime/flags.h"
+
+namespace benchutil {
+
+/// `--threads N` / `--threads=N` parsing — the shared runtime-layer parser.
+using bdisk::runtime::ThreadsFlag;
+
+/// Emits one JSON metric line: {"bench":...,"metric":...,"value":...,
+/// "threads":N}. `%.17g` keeps doubles lossless for trajectory diffing.
+inline void EmitJson(const char* bench, const char* metric, double value,
+                     unsigned threads) {
+  std::printf("{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.17g,"
+              "\"threads\":%u}\n",
+              bench, metric, value, threads);
+}
+
+}  // namespace benchutil
+
+#endif  // BDISK_BENCH_BENCH_UTIL_H_

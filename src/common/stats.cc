@@ -5,26 +5,25 @@
 
 namespace bdisk {
 
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  // Clamp: sumsq/n - m^2 can round to a tiny negative for constant data.
+  return std::max(0.0, sumsq_ / n - m * m);
+}
+
 double RunningStats::stddev() const {
   if (count_ < 2) return 0.0;
-  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  return std::sqrt(std::max(0.0, (sumsq_ - n * m * m) / (n - 1.0)));
 }
 
 void RunningStats::Merge(const RunningStats& other) {
-  if (other.count_ == 0) return;
-  if (count_ == 0) {
-    *this = other;
-    return;
-  }
-  const double total = static_cast<double>(count_ + other.count_);
-  const double delta = other.mean_ - mean_;
-  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
-                         static_cast<double>(other.count_) / total;
-  mean_ = (mean_ * static_cast<double>(count_) +
-           other.mean_ * static_cast<double>(other.count_)) /
-          total;
   count_ += other.count_;
   sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

@@ -14,18 +14,28 @@
 
 namespace bdisk {
 
-/// \brief Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// \brief Streaming mean/variance/min/max accumulator over raw moments
+/// (count, sum, sum of squares).
+///
+/// Moment sums make Merge() *exactly* order-independent: whenever every
+/// observation and every partial sum is exactly representable as a double
+/// (e.g. integer-valued latencies with sums below 2^53, which covers all
+/// simulator metrics), any partition of a sample stream into
+/// sub-accumulators followed by merging reproduces the single-pass
+/// accumulation bit for bit, regardless of the partition or the merge
+/// order. The sharded simulator relies on this to keep parallel results
+/// identical to the serial path (docs/ARCHITECTURE.md, determinism
+/// contract). The trade-off versus Welford's algorithm is cancellation for
+/// huge means with tiny spread, which slot-valued metrics never hit.
 class RunningStats {
  public:
   /// Adds one observation.
   void Add(double x) {
     ++count_;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(count_);
-    m2_ += delta * (x - mean_);
+    sum_ += x;
+    sumsq_ += x * x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
-    sum_ += x;
   }
 
   /// Number of observations so far.
@@ -33,11 +43,11 @@ class RunningStats {
   /// Sum of observations (0 when empty).
   double sum() const { return sum_; }
   /// Mean (0 when empty).
-  double mean() const { return mean_; }
-  /// Population variance (0 with < 2 observations).
-  double variance() const {
-    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  /// Population variance (0 with < 2 observations).
+  double variance() const;
   /// Sample standard deviation (0 with < 2 observations).
   double stddev() const;
   /// Smallest observation (+inf when empty).
@@ -45,14 +55,14 @@ class RunningStats {
   /// Largest observation (-inf when empty).
   double max() const { return max_; }
 
-  /// Merges another accumulator into this one (parallel Welford).
+  /// Merges another accumulator into this one. Exactly order-independent
+  /// for exactly-representable observations (see class comment).
   void Merge(const RunningStats& other);
 
  private:
   std::uint64_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
   double sum_ = 0.0;
+  double sumsq_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

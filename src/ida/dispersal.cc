@@ -40,26 +40,41 @@ Result<std::vector<Block>> Dispersal::Disperse(
         std::to_string(expected) + " bytes, got " +
         std::to_string(file.size()));
   }
-  std::vector<Block> out(n_);
+  std::vector<Block> out;
+  DisperseStripe(file_id, file.data(), version, &out);
+  return out;
+}
+
+void Dispersal::DisperseStripe(FileId file_id, const std::uint8_t* stripe,
+                               std::uint64_t version,
+                               std::vector<Block>* out) const {
+  out->resize(n_);
   for (std::uint32_t i = 0; i < n_; ++i) {
-    out[i].header = BlockHeader{file_id, i, m_, n_, version};
-    out[i].payload.assign(block_size_, 0);
+    (*out)[i].header = BlockHeader{file_id, i, m_, n_, version};
+    (*out)[i].payload.assign(block_size_, 0);
   }
-  // Dispersed block i, byte k = sum_j M[i][j] * file_block_j[k].
+  // Dispersed block i, byte k = sum_j M[i][j] * stripe_block_j[k].
   for (std::uint32_t i = 0; i < n_; ++i) {
     const std::uint8_t* row = dispersal_matrix_.RowData(i);
-    std::uint8_t* dst = out[i].payload.data();
+    std::uint8_t* dst = (*out)[i].payload.data();
     for (std::uint32_t j = 0; j < m_; ++j) {
-      const std::uint8_t* src = file.data() + static_cast<std::size_t>(j) *
-                                                  block_size_;
+      const std::uint8_t* src = stripe + static_cast<std::size_t>(j) *
+                                             block_size_;
       gf::GFBulk::MulRowAccumulate(dst, src, row[j], block_size_);
     }
   }
-  return out;
 }
 
 Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
     const std::vector<Block>& blocks) const {
+  std::vector<std::uint8_t> file(static_cast<std::size_t>(m_) * block_size_,
+                                 0);
+  BDISK_RETURN_NOT_OK(ReconstructInto(blocks, file.data()));
+  return file;
+}
+
+Status Dispersal::ReconstructInto(const std::vector<Block>& blocks,
+                                  std::uint8_t* dst) const {
   // Collect the first m distinct, valid blocks.
   std::vector<const Block*> chosen;
   std::vector<std::size_t> rows;
@@ -114,10 +129,15 @@ Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
   }
 
   const gf::Matrix* inverse = nullptr;
-  auto it = inverse_cache_.find(sorted_rows);
-  if (it != inverse_cache_.end()) {
-    inverse = &it->second;
-  } else {
+  {
+    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    auto it = inverse_cache_->entries.find(sorted_rows);
+    if (it != inverse_cache_->entries.end()) inverse = &it->second;
+  }
+  if (inverse == nullptr) {
+    // Invert outside the lock; a concurrent reconstruction of the same
+    // subset may win the emplace race, in which case its (identical)
+    // matrix is used.
     BDISK_ASSIGN_OR_RETURN(gf::Matrix square,
                            dispersal_matrix_.SelectRows(sorted_rows));
     auto inv_result = square.Inverse();
@@ -126,23 +146,23 @@ Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
       return Status::Internal("Reconstruct: dispersal submatrix singular: " +
                               inv_result.status().message());
     }
-    auto [pos, inserted] =
-        inverse_cache_.emplace(sorted_rows, std::move(inv_result).value());
-    BDISK_DCHECK(inserted);
+    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    auto [pos, inserted] = inverse_cache_->entries.emplace(
+        sorted_rows, std::move(inv_result).value());
+    (void)inserted;
     inverse = &pos->second;
   }
 
   // Original block j, byte k = sum_i Inv[j][i] * received_i[k].
-  std::vector<std::uint8_t> file(static_cast<std::size_t>(m_) * block_size_, 0);
   for (std::uint32_t j = 0; j < m_; ++j) {
-    std::uint8_t* dst = file.data() + static_cast<std::size_t>(j) * block_size_;
+    std::uint8_t* block_dst = dst + static_cast<std::size_t>(j) * block_size_;
     const std::uint8_t* inv_row = inverse->RowData(j);
     for (std::uint32_t i = 0; i < m_; ++i) {
-      gf::GFBulk::MulRowAccumulate(dst, sorted_blocks[i]->payload.data(),
+      gf::GFBulk::MulRowAccumulate(block_dst, sorted_blocks[i]->payload.data(),
                                    inv_row[i], block_size_);
     }
   }
-  return file;
+  return Status::OK();
 }
 
 }  // namespace bdisk::ida

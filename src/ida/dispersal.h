@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -30,14 +32,20 @@
 #include "gf/matrix.h"
 #include "ida/block.h"
 
+namespace bdisk::runtime {
+class ThreadPool;
+}  // namespace bdisk::runtime
+
 namespace bdisk::ida {
 
 /// \brief Dispersal engine for a fixed geometry (m data blocks, N dispersed
 /// blocks, fixed block size in bytes).
 ///
-/// Thread-compatible; reconstruction caches inverse matrices per row subset
-/// (the paper: "the inverse transformation could be precomputed for some or
-/// even all possible subsets of m rows").
+/// Safe for concurrent const use: Disperse/Reconstruct (and the batch
+/// variants) may run on many threads against one engine. Reconstruction
+/// caches inverse matrices per row subset (the paper: "the inverse
+/// transformation could be precomputed for some or even all possible
+/// subsets of m rows"); the cache is internally synchronized.
 class Dispersal {
  public:
   /// Creates an engine. Requirements: 1 <= m <= n <= 255 + ... (n - m
@@ -71,21 +79,63 @@ class Dispersal {
   Result<std::vector<std::uint8_t>> Reconstruct(
       const std::vector<Block>& blocks) const;
 
+  /// \brief Batched dispersal of a large file.
+  ///
+  /// `file` must be a non-empty multiple of m * block_size bytes; each
+  /// m * block_size stripe is dispersed independently — fanned out across
+  /// `pool` when non-null — and returned in file order. Stripe identity is
+  /// positional: all stripes share `file_id` and `version`, so blocks of
+  /// different stripes must not be mixed in one Reconstruct call; keep the
+  /// per-stripe grouping (as ReconstructBatch does).
+  ///
+  /// Deterministic: the output is byte-identical for any pool size,
+  /// including the serial path (pool == nullptr).
+  Result<std::vector<std::vector<Block>>> DisperseBatch(
+      FileId file_id, const std::vector<std::uint8_t>& file,
+      std::uint64_t version = 0, runtime::ThreadPool* pool = nullptr) const;
+
+  /// \brief Inverse of DisperseBatch: reconstructs every stripe (each needs
+  /// >= m distinct valid blocks, checked per stripe) — fanned out across
+  /// `pool` when non-null — and concatenates the stripes in order.
+  Result<std::vector<std::uint8_t>> ReconstructBatch(
+      const std::vector<std::vector<Block>>& stripes,
+      runtime::ThreadPool* pool = nullptr) const;
+
   /// Number of distinct inverse matrices cached so far.
-  std::size_t cached_inverse_count() const { return inverse_cache_.size(); }
+  std::size_t cached_inverse_count() const {
+    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    return inverse_cache_->entries.size();
+  }
 
  private:
+  // Cache of inverse reconstruction matrices keyed by sorted row subset.
+  // Heap-allocated so the engine stays movable despite the mutex; entries
+  // are never erased, so pointers into the map remain valid while other
+  // threads insert.
+  struct InverseCache {
+    std::mutex mu;
+    std::map<std::vector<std::size_t>, gf::Matrix> entries;
+  };
+
   Dispersal(std::uint32_t m, std::uint32_t n, std::size_t block_size,
             gf::Matrix dispersal_matrix)
       : m_(m), n_(n), block_size_(block_size),
-        dispersal_matrix_(std::move(dispersal_matrix)) {}
+        dispersal_matrix_(std::move(dispersal_matrix)),
+        inverse_cache_(std::make_unique<InverseCache>()) {}
+
+  /// Disperses one m * block_size stripe into `out` (resized to N blocks).
+  void DisperseStripe(FileId file_id, const std::uint8_t* stripe,
+                      std::uint64_t version, std::vector<Block>* out) const;
+
+  /// Reconstructs one stripe into `dst` (m * block_size bytes, zeroed).
+  Status ReconstructInto(const std::vector<Block>& blocks,
+                         std::uint8_t* dst) const;
 
   std::uint32_t m_;
   std::uint32_t n_;
   std::size_t block_size_;
   gf::Matrix dispersal_matrix_;
-  // Cache of inverse reconstruction matrices keyed by sorted row subset.
-  mutable std::map<std::vector<std::size_t>, gf::Matrix> inverse_cache_;
+  std::unique_ptr<InverseCache> inverse_cache_;
 };
 
 }  // namespace bdisk::ida

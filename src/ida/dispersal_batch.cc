@@ -1,0 +1,71 @@
+/// \file dispersal_batch.cc
+/// \brief Batched (multi-stripe) dispersal and reconstruction.
+///
+/// A file larger than one dispersal stripe (m * block_size bytes) is
+/// processed as consecutive independent stripes, which fan out across a
+/// runtime::ThreadPool: each stripe's matrix product touches disjoint
+/// input/output ranges, so the only shared state is the inverse-matrix
+/// cache, which Dispersal synchronizes internally.
+
+#include "common/check.h"
+#include "ida/dispersal.h"
+#include "runtime/parallel_for.h"
+
+namespace bdisk::ida {
+
+Result<std::vector<std::vector<Block>>> Dispersal::DisperseBatch(
+    FileId file_id, const std::vector<std::uint8_t>& file,
+    std::uint64_t version, runtime::ThreadPool* pool) const {
+  const std::size_t stripe_bytes = static_cast<std::size_t>(m_) * block_size_;
+  if (file.empty() || file.size() % stripe_bytes != 0) {
+    return Status::InvalidArgument(
+        "DisperseBatch: file must be a non-empty multiple of m * block_size "
+        "= " +
+        std::to_string(stripe_bytes) + " bytes, got " +
+        std::to_string(file.size()));
+  }
+  const std::size_t stripe_count = file.size() / stripe_bytes;
+  std::vector<std::vector<Block>> out(stripe_count);
+  runtime::ParallelFor(
+      pool, stripe_count, runtime::ShardCountFor(pool, stripe_count),
+      [&](unsigned, runtime::ShardRange range) {
+        for (std::uint64_t s = range.begin; s < range.end; ++s) {
+          DisperseStripe(file_id, file.data() + s * stripe_bytes, version,
+                         &out[s]);
+        }
+      });
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Dispersal::ReconstructBatch(
+    const std::vector<std::vector<Block>>& stripes,
+    runtime::ThreadPool* pool) const {
+  if (stripes.empty()) {
+    return Status::InvalidArgument("ReconstructBatch: no stripes");
+  }
+  const std::size_t stripe_bytes = static_cast<std::size_t>(m_) * block_size_;
+  std::vector<std::uint8_t> file(stripes.size() * stripe_bytes, 0);
+  const unsigned shards = runtime::ShardCountFor(pool, stripes.size());
+  // Per-shard first failure, reported as the error of the lowest failing
+  // shard so the (already rare) error path is stable for a given shard
+  // count.
+  std::vector<Status> failures(shards);
+  runtime::ParallelFor(
+      pool, stripes.size(), shards,
+      [&](unsigned shard, runtime::ShardRange range) {
+        for (std::uint64_t s = range.begin; s < range.end; ++s) {
+          Status status =
+              ReconstructInto(stripes[s], file.data() + s * stripe_bytes);
+          if (!status.ok()) {
+            failures[shard] = std::move(status);
+            return;
+          }
+        }
+      });
+  for (Status& status : failures) {
+    if (!status.ok()) return std::move(status);
+  }
+  return file;
+}
+
+}  // namespace bdisk::ida

@@ -1,0 +1,77 @@
+/// \file flags.h
+/// \brief Command-line parsing for the `--threads N` flag.
+///
+/// Pools are owned at the edge (docs/ARCHITECTURE.md), so every executable
+/// that takes a thread count parses the same flag. One parser keeps the
+/// semantics uniform across benches and tools: `--threads N` or
+/// `--threads=N`; absent, zero, negative, or malformed values fall back.
+
+#ifndef BDISK_RUNTIME_FLAGS_H_
+#define BDISK_RUNTIME_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bdisk::runtime {
+
+/// Largest accepted thread count — far above any real machine, low enough
+/// that a typo cannot wrap the unsigned conversion or exhaust the process
+/// spawning threads.
+inline constexpr long kMaxThreadsFlag = 4096;
+
+/// \brief Parses one candidate value token. Accepts only a complete
+/// positive integer in (0, kMaxThreadsFlag].
+inline bool ParseThreadsValue(const char* token, unsigned* out) {
+  char* end = nullptr;
+  const long value = std::strtol(token, &end, 10);
+  if (end == token || *end != '\0') return false;
+  if (value <= 0 || value > kMaxThreadsFlag) return false;
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
+/// \brief Parses `--threads N` / `--threads=N` from argv without mutating
+/// it; returns `fallback` when the flag is absent or its value malformed.
+inline unsigned ThreadsFlag(int argc, char** argv, unsigned fallback = 1) {
+  unsigned value = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (ParseThreadsValue(argv[i + 1], &value)) return value;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      if (ParseThreadsValue(argv[i] + 10, &value)) return value;
+    }
+  }
+  return fallback;
+}
+
+/// \brief Like ThreadsFlag, but also removes the flag (and its valid
+/// value) from argv, compacting it and updating *argc, so the caller can
+/// treat the remaining arguments as positional. A `--threads` or
+/// `--threads=` whose value is not a valid count is left in place for the
+/// caller's own usage check — neither a positional argument nor a typo is
+/// ever silently consumed.
+inline unsigned ConsumeThreadsFlag(int* argc, char** argv,
+                                   unsigned fallback = 1) {
+  const unsigned threads = ThreadsFlag(*argc, argv, fallback);
+  unsigned ignored = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc &&
+        ParseThreadsValue(argv[i + 1], &ignored)) {
+      ++i;  // Flag plus valid value: drop both.
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0 &&
+        ParseThreadsValue(argv[i] + 10, &ignored)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;  // Preserve the argv[argc] == NULL guarantee.
+  return threads;
+}
+
+}  // namespace bdisk::runtime
+
+#endif  // BDISK_RUNTIME_FLAGS_H_

@@ -1,0 +1,59 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace bdisk::runtime {
+
+ShardRange ShardOf(std::uint64_t total, unsigned shards, unsigned shard) {
+  BDISK_CHECK(shards > 0 && shard < shards);
+  const std::uint64_t base = total / shards;
+  const std::uint64_t rem = total % shards;
+  ShardRange range;
+  range.begin = shard * base + std::min<std::uint64_t>(shard, rem);
+  range.end = range.begin + base + (shard < rem ? 1 : 0);
+  return range;
+}
+
+unsigned ShardCountFor(ThreadPool* pool, std::uint64_t items) {
+  if (pool == nullptr || items == 0) return 1;
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(pool->thread_count(), items));
+}
+
+void ParallelFor(ThreadPool* pool, std::uint64_t total, unsigned shards,
+                 const std::function<void(unsigned, ShardRange)>& fn) {
+  BDISK_CHECK(shards > 0);
+  if (pool == nullptr || shards == 1) {
+    for (unsigned s = 0; s < shards; ++s) {
+      const ShardRange range = ShardOf(total, shards, s);
+      if (range.size() > 0) fn(s, range);
+    }
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable done;
+  unsigned remaining = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    if (ShardOf(total, shards, s).size() > 0) ++remaining;
+  }
+  if (remaining == 0) return;
+
+  for (unsigned s = 0; s < shards; ++s) {
+    const ShardRange range = ShardOf(total, shards, s);
+    if (range.size() == 0) continue;
+    pool->Submit([&fn, &mu, &done, &remaining, s, range] {
+      fn(s, range);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+}  // namespace bdisk::runtime

@@ -1,0 +1,50 @@
+/// \file parallel_for.h
+/// \brief Deterministic sharded-map primitive over an index range.
+///
+/// `ParallelFor` splits `[0, total)` into `shards` contiguous ranges whose
+/// boundaries depend only on `(total, shards)` — never on timing — and runs
+/// one task per non-empty shard. Callers that keep per-shard state indexed
+/// by shard number and combine it with an order-independent merge (e.g.
+/// `RunningStats::Merge`) obtain results that are bit-identical to the
+/// serial path for any pool size; see docs/ARCHITECTURE.md for the full
+/// determinism contract.
+
+#ifndef BDISK_RUNTIME_PARALLEL_FOR_H_
+#define BDISK_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace bdisk::runtime {
+
+/// Half-open index range [begin, end).
+struct ShardRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const { return end - begin; }
+};
+
+/// \brief Contiguous shard `shard` of `[0, total)` split into `shards`
+/// parts. Deterministic in (total, shards, shard); shard sizes differ by at
+/// most one, earlier shards taking the remainder. Requires shard < shards.
+ShardRange ShardOf(std::uint64_t total, unsigned shards, unsigned shard);
+
+/// \brief Number of shards to use for `items` units of work on `pool`: one
+/// per worker, capped by the item count; 1 for a null pool or no work.
+unsigned ShardCountFor(ThreadPool* pool, std::uint64_t items);
+
+/// \brief Runs `fn(shard, ShardOf(total, shards, shard))` for every
+/// non-empty shard and blocks until all of them have completed.
+///
+/// With a null pool or a single shard, runs inline on the caller's thread
+/// in shard order — the serial reference path. `fn` must not throw and
+/// must not recursively invoke ParallelFor on the same pool.
+void ParallelFor(ThreadPool* pool, std::uint64_t total, unsigned shards,
+                 const std::function<void(unsigned, ShardRange)>& fn);
+
+}  // namespace bdisk::runtime
+
+#endif  // BDISK_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,62 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool — the only component in the library that
+/// creates threads.
+///
+/// Ownership rule (docs/ARCHITECTURE.md): library layers never own a pool.
+/// Executables (benches, tools, servers) construct one and pass
+/// `ThreadPool*` down through the APIs that accept it; a null pool means
+/// "run serially on the caller's thread". This keeps thread creation at
+/// the edge of the system and makes every parallel code path trivially
+/// exercisable in serial mode.
+
+#ifndef BDISK_RUNTIME_THREAD_POOL_H_
+#define BDISK_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdisk::runtime {
+
+/// \brief Fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks must not throw (the library is exception-free) and must not
+/// submit-and-wait on the same pool from inside a task (a task blocking on
+/// work queued behind it can deadlock a saturated pool).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains any outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues one task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Hardware concurrency as reported by the OS, never 0.
+  static unsigned HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bdisk::runtime
+
+#endif  // BDISK_RUNTIME_THREAD_POOL_H_

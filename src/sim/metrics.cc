@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/check.h"
+
 namespace bdisk::sim {
 
 std::uint64_t SimulationMetrics::TotalAttempts() const {
@@ -50,6 +52,18 @@ std::string SimulationMetrics::ToString() const {
         << std::setprecision(4) << f.MissRate() << "\n";
   }
   return oss.str();
+}
+
+void SimulationMetrics::Merge(const SimulationMetrics& other) {
+  if (other.per_file.empty()) return;
+  if (per_file.empty()) {
+    per_file = other.per_file;
+    return;
+  }
+  BDISK_CHECK(per_file.size() == other.per_file.size());
+  for (std::size_t f = 0; f < per_file.size(); ++f) {
+    per_file[f].Merge(other.per_file[f]);
+  }
 }
 
 }  // namespace bdisk::sim

@@ -12,10 +12,10 @@
 
 namespace bdisk::sim {
 
-/// \brief Per-file retrieval statistics.
-struct FileMetrics {
-  std::string file_name;
-  /// Latency (slots, start to completion inclusive) of completed retrievals.
+/// \brief Aggregated outcomes of one stream of retrieval attempts (a
+/// file's requests, or a transaction workload).
+struct OutcomeStats {
+  /// Latency (slots, start to completion inclusive) of completed attempts.
   RunningStats latency;
   /// Completed within the simulation horizon.
   std::uint64_t completed = 0;
@@ -24,7 +24,7 @@ struct FileMetrics {
   /// Still incomplete when the horizon ended (counted as deadline misses in
   /// MissRate()).
   std::uint64_t incomplete = 0;
-  /// Corrupted transmissions of this file observed by its clients.
+  /// Corrupted transmissions observed by the attempts.
   std::uint64_t errors_observed = 0;
 
   std::uint64_t attempts() const { return completed + incomplete; }
@@ -36,6 +36,28 @@ struct FileMetrics {
     if (a == 0) return 0.0;
     return static_cast<double>(missed_deadline + incomplete) /
            static_cast<double>(a);
+  }
+
+  /// Merges another shard's outcomes into this one. Exactly
+  /// order-independent (counts are integers; latency merging is
+  /// RunningStats::Merge).
+  void Merge(const OutcomeStats& other) {
+    latency.Merge(other.latency);
+    completed += other.completed;
+    missed_deadline += other.missed_deadline;
+    incomplete += other.incomplete;
+    errors_observed += other.errors_observed;
+  }
+};
+
+/// \brief Per-file retrieval statistics.
+struct FileMetrics : OutcomeStats {
+  std::string file_name;
+
+  /// Merges another shard's outcomes for the same file into this one.
+  void Merge(const FileMetrics& other) {
+    OutcomeStats::Merge(other);
+    if (file_name.empty()) file_name = other.file_name;
   }
 };
 
@@ -54,7 +76,16 @@ struct SimulationMetrics {
 
   /// Table rendering, one line per file.
   std::string ToString() const;
+
+  /// Merges another run over the same program (file-by-file). The other
+  /// run's per_file must be empty or the same size as this one's.
+  void Merge(const SimulationMetrics& other);
 };
+
+/// \brief Aggregated outcomes of a transaction workload
+/// (Simulator::RunTransactionWorkload): latency is the joint (last-item)
+/// latency, errors sum over all items of all transactions.
+struct TransactionMetrics : OutcomeStats {};
 
 }  // namespace bdisk::sim
 

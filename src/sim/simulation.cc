@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "common/check.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_stream.h"
 
 namespace bdisk::sim {
 
@@ -97,23 +99,28 @@ Result<RetrievalOutcome> Simulator::RetrieveTransaction(
   return combined;
 }
 
-Result<SimulationMetrics> Simulator::RunWorkload(
-    const WorkloadConfig& config) const {
-  SimulationMetrics metrics;
-  metrics.per_file.resize(program_->file_count());
-  Rng rng(config.seed);
-
-  for (broadcast::FileIndex f = 0; f < program_->file_count(); ++f) {
+Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
+                                                 runtime::ThreadPool* pool)
+    const {
+  const std::size_t file_count = program_->file_count();
+  // Validate everything up front (per-file deadline and admissible start
+  // range) so shard workers cannot fail mid-flight.
+  std::vector<std::uint64_t> deadlines(file_count, 0);
+  std::vector<std::uint64_t> start_ranges(file_count, 0);
+  for (broadcast::FileIndex f = 0; f < file_count; ++f) {
     const broadcast::ProgramFile& pf = program_->files()[f];
-    FileMetrics& fm = metrics.per_file[f];
-    fm.file_name = pf.name;
-
+    if (config.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
+      return Status::InvalidArgument(
+          "Simulator: flat client model requires n == m for file '" +
+          pf.name + "'");
+    }
     std::uint64_t deadline = 0;
     if (f < config.deadline_slots.size() && config.deadline_slots[f] != 0) {
       deadline = config.deadline_slots[f];
     } else if (!pf.latency_slots.empty()) {
       deadline = pf.latency_slots.front();
     }
+    deadlines[f] = deadline;
 
     // Leave room at the end of the horizon so retrievals are not cut off
     // artificially: a generous tail of several periods plus the deadline.
@@ -124,25 +131,110 @@ Result<SimulationMetrics> Simulator::RunWorkload(
           "Simulator: horizon too small for workload (need > " +
           std::to_string(tail) + " slots)");
     }
-    const std::uint64_t start_range = corrupted_.size() - tail;
+    start_ranges[f] = corrupted_.size() - tail;
+  }
 
-    for (std::uint64_t k = 0; k < config.requests_per_file; ++k) {
-      ClientRequest req;
-      req.file = f;
-      req.start_slot = rng.Uniform(start_range);
-      req.deadline_slots = deadline;
-      req.model = config.model;
-      BDISK_ASSIGN_OR_RETURN(RetrievalOutcome outcome, Retrieve(req));
-      if (outcome.completed) {
-        ++fm.completed;
-        fm.latency.Add(static_cast<double>(outcome.latency));
-        if (!outcome.met_deadline) ++fm.missed_deadline;
-      } else {
-        ++fm.incomplete;
-      }
-      fm.errors_observed += outcome.errors_observed;
+  // One global request index g = f * requests_per_file + k drives both the
+  // shard split and the RNG stream, so any shard count replays the exact
+  // same per-request draws.
+  const std::uint64_t total = file_count * config.requests_per_file;
+  const unsigned shards = runtime::ShardCountFor(pool, total);
+  std::vector<SimulationMetrics> shard_metrics(shards);
+  runtime::ParallelFor(
+      pool, total, shards,
+      [&](unsigned shard, runtime::ShardRange range) {
+        SimulationMetrics& local = shard_metrics[shard];
+        local.per_file.resize(file_count);
+        for (std::uint64_t g = range.begin; g < range.end; ++g) {
+          const auto f = static_cast<broadcast::FileIndex>(
+              g / config.requests_per_file);
+          Rng rng = runtime::StreamRng(config.seed, g);
+          ClientRequest req;
+          req.file = f;
+          req.start_slot = rng.Uniform(start_ranges[f]);
+          req.deadline_slots = deadlines[f];
+          req.model = config.model;
+          auto outcome = Retrieve(req);
+          BDISK_CHECK(outcome.ok());  // Inputs were validated above.
+          FileMetrics& fm = local.per_file[f];
+          if (outcome->completed) {
+            ++fm.completed;
+            fm.latency.Add(static_cast<double>(outcome->latency));
+            if (!outcome->met_deadline) ++fm.missed_deadline;
+          } else {
+            ++fm.incomplete;
+          }
+          fm.errors_observed += outcome->errors_observed;
+        }
+      });
+
+  SimulationMetrics metrics;
+  metrics.per_file.resize(file_count);
+  for (broadcast::FileIndex f = 0; f < file_count; ++f) {
+    metrics.per_file[f].file_name = program_->files()[f].name;
+  }
+  for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
+  return metrics;
+}
+
+Result<TransactionMetrics> Simulator::RunTransactionWorkload(
+    const TransactionWorkloadConfig& config, runtime::ThreadPool* pool) const {
+  const std::size_t file_count = program_->file_count();
+  if (config.files_per_transaction == 0 ||
+      config.files_per_transaction > file_count) {
+    return Status::InvalidArgument(
+        "RunTransactionWorkload: files_per_transaction must be in [1, " +
+        std::to_string(file_count) + "], got " +
+        std::to_string(config.files_per_transaction));
+  }
+  for (broadcast::FileIndex f = 0; f < file_count; ++f) {
+    const broadcast::ProgramFile& pf = program_->files()[f];
+    if (config.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
+      return Status::InvalidArgument(
+          "Simulator: flat client model requires n == m for file '" +
+          pf.name + "'");
     }
   }
+  const std::uint64_t tail = std::max<std::uint64_t>(
+      config.deadline_slots, 4 * program_->DataCycleLength());
+  if (corrupted_.size() <= tail) {
+    return Status::InvalidArgument(
+        "Simulator: horizon too small for workload (need > " +
+        std::to_string(tail) + " slots)");
+  }
+  const std::uint64_t start_range = corrupted_.size() - tail;
+
+  const unsigned shards = runtime::ShardCountFor(pool, config.transactions);
+  std::vector<TransactionMetrics> shard_metrics(shards);
+  runtime::ParallelFor(
+      pool, config.transactions, shards,
+      [&](unsigned shard, runtime::ShardRange range) {
+        TransactionMetrics& local = shard_metrics[shard];
+        for (std::uint64_t t = range.begin; t < range.end; ++t) {
+          Rng rng = runtime::StreamRng(config.seed, t);
+          TransactionRequest req;
+          req.start_slot = rng.Uniform(start_range);
+          req.deadline_slots = config.deadline_slots;
+          req.model = config.model;
+          for (std::size_t i : rng.SampleWithoutReplacement(
+                   file_count, config.files_per_transaction)) {
+            req.files.push_back(static_cast<broadcast::FileIndex>(i));
+          }
+          auto outcome = RetrieveTransaction(req);
+          BDISK_CHECK(outcome.ok());  // Inputs were validated above.
+          if (outcome->completed) {
+            ++local.completed;
+            local.latency.Add(static_cast<double>(outcome->latency));
+            if (!outcome->met_deadline) ++local.missed_deadline;
+          } else {
+            ++local.incomplete;
+          }
+          local.errors_observed += outcome->errors_observed;
+        }
+      });
+
+  TransactionMetrics metrics;
+  for (const TransactionMetrics& tm : shard_metrics) metrics.Merge(tm);
   return metrics;
 }
 

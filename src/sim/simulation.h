@@ -23,6 +23,10 @@
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 
+namespace bdisk::runtime {
+class ThreadPool;
+}  // namespace bdisk::runtime
+
 namespace bdisk::sim {
 
 /// \brief One client retrieval request.
@@ -60,7 +64,11 @@ struct WorkloadConfig {
   std::vector<std::uint64_t> deadline_slots;
   /// Client retrieval semantics.
   broadcast::ClientModel model = broadcast::ClientModel::kIda;
-  /// RNG seed for start-slot sampling.
+  /// Base RNG seed for start-slot sampling. Draws are indexed, not
+  /// sequential: request k of file f samples from RNG stream
+  /// `f * requests_per_file + k` of this seed
+  /// (runtime::StreamRng), so every request's randomness is independent of
+  /// execution order — results are identical for any shard/thread count.
   std::uint64_t seed = 42;
 };
 
@@ -74,6 +82,23 @@ struct TransactionRequest {
   /// Joint latency budget in slots (0 = no deadline).
   std::uint64_t deadline_slots = 0;
   broadcast::ClientModel model = broadcast::ClientModel::kIda;
+};
+
+/// \brief Workload of independent multi-item transactions: each fires at a
+/// random start slot and reads a random `files_per_transaction`-subset of
+/// the program's files under one joint deadline.
+struct TransactionWorkloadConfig {
+  /// Number of transactions to simulate.
+  std::uint64_t transactions = 1000;
+  /// Data items read per transaction (1 <= value <= file count).
+  std::size_t files_per_transaction = 2;
+  /// Joint latency budget in slots (0 = no deadline).
+  std::uint64_t deadline_slots = 0;
+  /// Client retrieval semantics.
+  broadcast::ClientModel model = broadcast::ClientModel::kIda;
+  /// Base RNG seed; transaction t draws from stream t (runtime::StreamRng),
+  /// making results independent of execution order and shard count.
+  std::uint64_t seed = 42;
 };
 
 /// \brief Block-index-level broadcast-disk simulator.
@@ -96,7 +121,21 @@ class Simulator {
 
   /// Runs `config.requests_per_file` random-start retrievals per file and
   /// aggregates the outcomes.
-  Result<SimulationMetrics> RunWorkload(const WorkloadConfig& config) const;
+  ///
+  /// With a non-null `pool`, requests are sharded across its workers and
+  /// per-shard metrics are merged; because draws are indexed by request
+  /// (WorkloadConfig::seed) and the stats accumulators merge exactly, the
+  /// result is bit-identical to the serial path for any thread count.
+  Result<SimulationMetrics> RunWorkload(const WorkloadConfig& config,
+                                        runtime::ThreadPool* pool =
+                                            nullptr) const;
+
+  /// Runs `config.transactions` random multi-item transactions and
+  /// aggregates the outcomes. Same sharding and determinism contract as
+  /// RunWorkload.
+  Result<TransactionMetrics> RunTransactionWorkload(
+      const TransactionWorkloadConfig& config,
+      runtime::ThreadPool* pool = nullptr) const;
 
   /// Number of corrupted slots in the realization (diagnostics).
   std::uint64_t CorruptedSlotCount() const;

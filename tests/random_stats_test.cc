@@ -162,6 +162,40 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStatsTest, MergePartitionInvariantExactly) {
+  // Property test: merging ANY partition of a sample stream, in ANY order,
+  // reproduces single-pass accumulation bit for bit (for exactly
+  // representable observations — here integer-valued, like the simulator's
+  // slot latencies). The sharded simulator relies on this.
+  Rng rng(101);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(static_cast<double>(rng.Uniform(1000)));
+  }
+  RunningStats single;
+  for (double x : samples) single.Add(x);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t parts_count = 1 + rng.Uniform(8);
+    std::vector<RunningStats> parts(parts_count);
+    for (double x : samples) parts[rng.Uniform(parts_count)].Add(x);
+    std::vector<std::size_t> order(parts_count);
+    for (std::size_t i = 0; i < parts_count; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    RunningStats merged;
+    for (std::size_t idx : order) merged.Merge(parts[idx]);
+    // Exact equality, not EXPECT_NEAR.
+    EXPECT_EQ(merged.count(), single.count());
+    EXPECT_EQ(merged.sum(), single.sum());
+    EXPECT_EQ(merged.mean(), single.mean());
+    EXPECT_EQ(merged.variance(), single.variance());
+    EXPECT_EQ(merged.stddev(), single.stddev());
+    EXPECT_EQ(merged.min(), single.min());
+    EXPECT_EQ(merged.max(), single.max());
+  }
+}
+
 TEST(RunningStatsTest, MergeWithEmpty) {
   RunningStats a;
   a.Add(1.0);

@@ -1,0 +1,149 @@
+// Tests for the runtime layer: ThreadPool, ShardOf/ParallelFor, and
+// counter-based RNG streams. The concurrency cases double as
+// ThreadSanitizer targets (the CI tsan job runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "runtime/parallel_for.h"
+#include "runtime/rng_stream.h"
+#include "runtime/thread_pool.h"
+
+namespace bdisk::runtime {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, DrainsAllTasksOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsNeverZero) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ShardOfTest, PartitionsExactlyAndEvenly) {
+  for (std::uint64_t total : {0ull, 1ull, 7ull, 8ull, 100ull, 12345ull}) {
+    for (unsigned shards : {1u, 2u, 3u, 8u, 17u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t expected_begin = 0;
+      std::uint64_t min_size = ~0ull;
+      std::uint64_t max_size = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        const ShardRange range = ShardOf(total, shards, s);
+        EXPECT_EQ(range.begin, expected_begin);  // Contiguous, in order.
+        expected_begin = range.end;
+        covered += range.size();
+        min_size = std::min(min_size, range.size());
+        max_size = std::max(max_size, range.size());
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_begin, total);
+      EXPECT_LE(max_size - min_size, 1u);  // Balanced within one item.
+    }
+  }
+}
+
+TEST(ShardOfTest, DeterministicAcrossCalls) {
+  const ShardRange a = ShardOf(12345, 7, 3);
+  const ShardRange b = ShardOf(12345, 7, 3);
+  EXPECT_EQ(a.begin, b.begin);
+  EXPECT_EQ(a.end, b.end);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::uint64_t total = 10000;
+  std::vector<int> visits(total, 0);  // Disjoint ranges: no races.
+  ParallelFor(&pool, total, 8, [&visits](unsigned, ShardRange range) {
+    for (std::uint64_t i = range.begin; i < range.end; ++i) ++visits[i];
+  });
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInShardOrder) {
+  std::vector<unsigned> shard_order;
+  ParallelFor(nullptr, 10, 4, [&shard_order](unsigned shard, ShardRange) {
+    shard_order.push_back(shard);
+  });
+  EXPECT_EQ(shard_order, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ParallelForTest, PassesMatchingShardRanges) {
+  ThreadPool pool(3);
+  std::vector<ShardRange> seen(5);
+  ParallelFor(&pool, 103, 5, [&seen](unsigned shard, ShardRange range) {
+    seen[shard] = range;
+  });
+  for (unsigned s = 0; s < 5; ++s) {
+    const ShardRange expected = ShardOf(103, 5, s);
+    EXPECT_EQ(seen[s].begin, expected.begin);
+    EXPECT_EQ(seen[s].end, expected.end);
+  }
+}
+
+TEST(ParallelForTest, SkipsEmptyShards) {
+  ThreadPool pool(4);
+  std::atomic<int> invocations{0};
+  ParallelFor(&pool, 3, 8, [&invocations](unsigned, ShardRange range) {
+    EXPECT_GT(range.size(), 0u);
+    invocations.fetch_add(1);
+  });
+  EXPECT_EQ(invocations.load(), 3);
+  // Zero work: no invocation at all, and no hang.
+  ParallelFor(&pool, 0, 8, [](unsigned, ShardRange) { FAIL(); });
+}
+
+TEST(ParallelForTest, SharedAtomicAccumulation) {
+  // TSan target: concurrent writes to one atomic from all workers.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  ParallelFor(&pool, 100000, 16, [&sum](unsigned, ShardRange range) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = range.begin; i < range.end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 100000ull * 99999ull / 2);
+}
+
+TEST(RngStreamTest, StreamSeedDeterministicAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 4096; ++s) {
+    EXPECT_EQ(StreamSeed(42, s), StreamSeed(42, s));
+    seeds.insert(StreamSeed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 4096u);  // Injective in the stream index.
+}
+
+TEST(RngStreamTest, DifferentBaseSeedsDecorrelate) {
+  int same = 0;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    if (StreamRng(1, s)() == StreamRng(2, s)()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngStreamTest, StreamRngReplaysIdentically) {
+  Rng a = StreamRng(7, 123);
+  Rng b = StreamRng(7, 123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace bdisk::runtime

@@ -8,8 +8,12 @@
 // level.
 //
 // Usage:
-//   bdisk_planner workload.spec
-//   bdisk_planner - < workload.spec
+//   bdisk_planner [--threads N] workload.spec
+//   bdisk_planner [--threads N] - < workload.spec
+//
+// --threads N fans the per-file worst-case delay analysis (the exact
+// adversary computation, the planner's dominant cost on big specs) out
+// across N workers; output is identical at any thread count.
 //
 // Example byte-domain spec:
 //   channel 196608
@@ -23,7 +27,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bdisk/bandwidth.h"
 #include "bdisk/block_size.h"
@@ -31,10 +38,15 @@
 #include "bdisk/pinwheel_builder.h"
 #include "bdisk/spec_parser.h"
 #include "pinwheel/composite_scheduler.h"
+#include "runtime/flags.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
 using namespace bdisk::broadcast;  // NOLINT
+
+bdisk::runtime::ThreadPool* g_pool = nullptr;
 
 void PrintProgram(const BuildResult& result) {
   const BroadcastProgram& p = result.program;
@@ -46,21 +58,34 @@ void PrintProgram(const BuildResult& result) {
   DelayAnalyzer analyzer(p);
   std::printf("%-16s %4s %4s %10s %8s  worst-case latency per fault level\n",
               "file", "m", "n", "slots/per", "max gap");
+  // The exact adversary analysis is independent per file: shard it across
+  // the pool (analysis only — the rendered table stays in file order).
+  std::vector<std::string> latency_cols(p.file_count());
+  bdisk::runtime::ParallelFor(
+      g_pool, p.file_count(),
+      bdisk::runtime::ShardCountFor(g_pool, p.file_count()),
+      [&](unsigned, bdisk::runtime::ShardRange range) {
+        for (std::uint64_t f = range.begin; f < range.end; ++f) {
+          const ProgramFile& pf = p.files()[f];
+          std::string col;
+          for (std::size_t j = 0; j < pf.latency_slots.size(); ++j) {
+            auto latency = analyzer.WorstCaseLatency(
+                static_cast<FileIndex>(f), static_cast<std::uint32_t>(j),
+                ClientModel::kIda);
+            if (latency.ok()) {
+              col += " " + std::to_string(*latency) + "<=" +
+                     std::to_string(pf.latency_slots[j]);
+            }
+          }
+          latency_cols[f] = std::move(col);
+        }
+      });
   for (FileIndex f = 0; f < p.file_count(); ++f) {
     const ProgramFile& pf = p.files()[f];
-    std::printf("%-16s %4u %4u %10llu %8llu ", pf.name.c_str(), pf.m, pf.n,
-                static_cast<unsigned long long>(p.CountOf(f)),
-                static_cast<unsigned long long>(p.MaxGapOf(f)));
-    for (std::size_t j = 0; j < pf.latency_slots.size(); ++j) {
-      auto latency = analyzer.WorstCaseLatency(
-          f, static_cast<std::uint32_t>(j), ClientModel::kIda);
-      if (latency.ok()) {
-        std::printf(" %llu<=%llu",
-                    static_cast<unsigned long long>(*latency),
-                    static_cast<unsigned long long>(pf.latency_slots[j]));
-      }
-    }
-    std::printf("\n");
+    std::printf("%-16s %4u %4u %10llu %8llu %s\n", pf.name.c_str(), pf.m,
+                pf.n, static_cast<unsigned long long>(p.CountOf(f)),
+                static_cast<unsigned long long>(p.MaxGapOf(f)),
+                latency_cols[f].c_str());
   }
   if (!result.conversions.empty()) {
     std::printf("\npinwheel-algebra conversions:\n");
@@ -120,17 +145,25 @@ int Plan(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = bdisk::runtime::ConsumeThreadsFlag(&argc, argv);
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <spec-file | ->\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--threads N] <spec-file | ->\n",
+                 argv[0]);
     return 2;
   }
+  const char* spec_arg = argv[1];
+  std::unique_ptr<bdisk::runtime::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<bdisk::runtime::ThreadPool>(threads);
+    g_pool = pool.get();
+  }
   std::ostringstream text;
-  if (std::string(argv[1]) == "-") {
+  if (std::string(spec_arg) == "-") {
     text << std::cin.rdbuf();
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(spec_arg);
     if (!in) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      std::fprintf(stderr, "error: cannot open '%s'\n", spec_arg);
       return 2;
     }
     text << in.rdbuf();
