@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/zipf.h"
 #include "sim/cache.h"
 #include "sim/simulation.h"
 
@@ -25,21 +26,25 @@ using namespace bdisk;             // NOLINT
 using namespace bdisk::broadcast;  // NOLINT
 using namespace bdisk::sim;        // NOLINT
 
-constexpr std::size_t kFiles = 12;
-
-// Multi-speed program: the first few items spin fast, the rest slow —
-// deliberately *not* aligned with every client's access skew.
-BroadcastProgram BuildServerProgram() {
+// Multi-speed program: the first sixth of the items spin fast, the next
+// third at half speed, the rest slow — deliberately *not* aligned with
+// every client's access skew.
+BroadcastProgram BuildServerProgram(std::size_t files) {
   std::vector<DiskSpec> disks(3);
   disks[0].relative_frequency = 4;
   disks[1].relative_frequency = 2;
   disks[2].relative_frequency = 1;
-  for (std::size_t i = 0; i < kFiles; ++i) {
-    const std::size_t disk = i < 2 ? 0 : (i < 6 ? 1 : 2);
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::size_t disk = i < files / 6 ? 0 : (i < files / 2 ? 1 : 2);
     disks[disk].files.push_back(
         {"F" + std::to_string(i), 4, 6, {}});
   }
-  auto p = BuildMultiDiskProgram(disks);
+  // Small --files values can leave a disk empty; drop it.
+  std::vector<DiskSpec> populated;
+  for (DiskSpec& d : disks) {
+    if (!d.files.empty()) populated.push_back(std::move(d));
+  }
+  auto p = BuildMultiDiskProgram(populated);
   if (!p.ok()) std::exit(1);
   return std::move(p->program);
 }
@@ -85,15 +90,25 @@ double MeanAccessLatency(const BroadcastProgram& program, std::size_t capacity,
 
 }  // namespace
 
-int main() {
-  const BroadcastProgram program = BuildServerProgram();
-  const ZipfDistribution zipf(kFiles, 0.95);
+int main(int argc, char** argv) {
+  // Workload shape flags (runtime/flags.h): --files N items on the
+  // broadcast, --theta X Zipf skew of the client's accesses.
+  const auto files = static_cast<std::size_t>(
+      benchutil::UintFlag(argc, argv, "files", 12));
+  const double theta = benchutil::DoubleFlag(argc, argv, "theta", 0.95);
+  if (files < 2) {
+    std::fprintf(stderr, "--files must be >= 2\n");
+    return 2;
+  }
+  const BroadcastProgram program = BuildServerProgram(files);
+  const ZipfDistribution zipf(files, theta);
 
   std::printf("E12 / client cache policies on a multi-speed broadcast "
               "disk\n");
   std::printf("%zu items x 4 blocks (dispersed to 6), period %llu slots, "
-              "Zipf(0.95) access, 4000 accesses per point\n\n",
-              kFiles, static_cast<unsigned long long>(program.period()));
+              "Zipf(%.2f) access, 4000 accesses per point\n\n",
+              files, static_cast<unsigned long long>(program.period()),
+              theta);
   std::printf("%-10s %-14s %-14s %-14s\n", "cache", "no cache", "LRU",
               "PIX");
   bool ok = true;

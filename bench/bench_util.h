@@ -2,10 +2,13 @@
 // build into their own binary, so there is no bench library to link).
 //
 // Every bench emits at least one machine-readable line of the form
-//   {"bench":"bench_ida","metric":"disperse_MBps","value":123.4,"threads":1}
+//   {"bench":"bench_ida","metric":"disperse_MBps","value":123.4,
+//    "threads":1,"commit":"abc1234"}
 // on stdout, so CI runs can be scraped into BENCH_*.json trajectory files
-// with `grep '^{"bench"'`. Human-readable tables remain unchanged around
-// these lines.
+// with `grep '^{"bench"'`. The commit field is the short git SHA injected
+// at configure time (CMakeLists.txt defines BDISK_BUILD_COMMIT), making
+// trajectory artifacts attributable across PRs. Human-readable tables
+// remain unchanged around these lines.
 
 #ifndef BDISK_BENCH_BENCH_UTIL_H_
 #define BDISK_BENCH_BENCH_UTIL_H_
@@ -14,18 +17,27 @@
 
 #include "runtime/flags.h"
 
+// Injected by CMake (-DBDISK_BUILD_COMMIT="<short sha>"); "unknown" when
+// building outside a git checkout.
+#ifndef BDISK_BUILD_COMMIT
+#define BDISK_BUILD_COMMIT "unknown"
+#endif
+
 namespace benchutil {
 
 /// `--threads N` / `--threads=N` parsing — the shared runtime-layer parser.
+using bdisk::runtime::DoubleFlag;
 using bdisk::runtime::ThreadsFlag;
+using bdisk::runtime::UintFlag;
 
 /// Emits one JSON metric line: {"bench":...,"metric":...,"value":...,
-/// "threads":N}. `%.17g` keeps doubles lossless for trajectory diffing.
+/// "threads":N,"commit":...}. `%.17g` keeps doubles lossless for
+/// trajectory diffing.
 inline void EmitJson(const char* bench, const char* metric, double value,
                      unsigned threads) {
   std::printf("{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.17g,"
-              "\"threads\":%u}\n",
-              bench, metric, value, threads);
+              "\"threads\":%u,\"commit\":\"%s\"}\n",
+              bench, metric, value, threads, BDISK_BUILD_COMMIT);
 }
 
 }  // namespace benchutil

@@ -41,7 +41,7 @@ int main() {
               static_cast<unsigned long long>(program.DataCycleLength()));
 
   // Access pattern: Zipf over the four items, 2000 accesses.
-  sim::ZipfDistribution zipf(files.size(), 0.9);
+  ZipfDistribution zipf(files.size(), 0.9);
   Rng rng(1917);
   sim::ClientCache cache(2, sim::CachePolicy::kPix);
 

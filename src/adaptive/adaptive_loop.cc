@@ -1,0 +1,178 @@
+#include "adaptive/adaptive_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/zipf.h"
+#include "runtime/rng_stream.h"
+
+namespace bdisk::adaptive {
+
+Result<AdaptiveController> AdaptiveController::Create(
+    std::vector<broadcast::FlatFileSpec> files,
+    broadcast::BroadcastProgram initial, AdaptiveLoopOptions options) {
+  if (initial.file_count() != files.size()) {
+    return Status::InvalidArgument(
+        "AdaptiveController: initial program has " +
+        std::to_string(initial.file_count()) + " files, expected " +
+        std::to_string(files.size()));
+  }
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const broadcast::ProgramFile& pf = initial.files()[f];
+    if (pf.name != files[f].name || pf.m != files[f].m ||
+        pf.n != files[f].n) {
+      return Status::InvalidArgument(
+          "AdaptiveController: initial program file " + std::to_string(f) +
+          " ('" + pf.name + "') does not match the canonical population "
+          "entry ('" + files[f].name + "')");
+    }
+  }
+  DemandEstimator estimator(files.size(), options.decay);
+  BDISK_ASSIGN_OR_RETURN(ProgramOptimizer optimizer,
+                         ProgramOptimizer::Create(files, options.optimizer));
+  HotSwapCoordinator coordinator(std::move(initial));
+  return AdaptiveController(std::move(estimator), std::move(optimizer),
+                            std::move(coordinator), std::move(options));
+}
+
+Result<bool> AdaptiveController::EndInterval(
+    const std::vector<std::uint64_t>& counts,
+    std::uint64_t interval_end_slot, runtime::ThreadPool* pool) {
+  if (counts.size() != estimator_.file_count()) {
+    return Status::InvalidArgument(
+        "AdaptiveController: counts for " + std::to_string(counts.size()) +
+        " files, expected " + std::to_string(estimator_.file_count()));
+  }
+  std::uint64_t interval_total = 0;
+  for (std::uint64_t c : counts) interval_total += c;
+  estimator_.ObserveCounts(counts);
+  estimator_.FoldInterval();
+  if (interval_total < options_.min_interval_requests) return false;
+
+  const std::vector<double> demand = estimator_.Shares();
+  BDISK_ASSIGN_OR_RETURN(OptimizedProgram candidate,
+                         optimizer_.Optimize(demand, pool));
+  BDISK_ASSIGN_OR_RETURN(
+      ProgramScore incumbent,
+      EvaluateProgram(coordinator_.current_program(), demand));
+  if (candidate.score.expected_mean_delay >=
+      incumbent.expected_mean_delay * (1.0 - options_.improvement_threshold)) {
+    return false;
+  }
+  BDISK_ASSIGN_OR_RETURN(std::uint64_t swap_slot,
+                         coordinator_.ScheduleSwap(
+                             std::move(candidate.program),
+                             interval_end_slot));
+  (void)swap_slot;
+  return true;
+}
+
+std::vector<sim::ClientRequest> GenerateDriftingRequests(
+    const DriftingZipfWorkload& workload, std::size_t file_count) {
+  BDISK_CHECK(file_count > 0);
+  BDISK_CHECK(workload.arrival_horizon > 0);
+  const ZipfDistribution zipf(file_count, workload.theta);
+  const std::uint64_t spacing =
+      std::max<std::uint64_t>(1, workload.arrival_horizon / std::max<
+                                     std::uint64_t>(1, workload.requests));
+  std::vector<sim::ClientRequest> requests(workload.requests);
+  for (std::uint64_t k = 0; k < workload.requests; ++k) {
+    Rng rng = runtime::StreamRng(workload.seed, k);
+    const std::uint64_t base = k * workload.arrival_horizon /
+                               std::max<std::uint64_t>(1, workload.requests);
+    const std::uint64_t arrival = std::min(base + rng.Uniform(spacing),
+                                           workload.arrival_horizon - 1);
+    const std::size_t rank = zipf.Sample(rng.UniformDouble());
+    // The drift: at flip_slot, yesterday's ranking reverses.
+    const std::size_t file =
+        arrival < workload.flip_slot ? rank : file_count - 1 - rank;
+    requests[k].file = static_cast<broadcast::FileIndex>(file);
+    requests[k].start_slot = arrival;
+    requests[k].deadline_slots = 0;
+    requests[k].model = broadcast::ClientModel::kIda;
+  }
+  return requests;
+}
+
+Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
+    const std::vector<broadcast::FlatFileSpec>& files,
+    const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
+    const AdaptiveLoopOptions& options, double loss_probability,
+    std::uint64_t fault_seed, runtime::ThreadPool* pool,
+    const broadcast::BroadcastProgram* initial) {
+  if (interval_slots == 0) {
+    return Status::InvalidArgument(
+        "RunAdaptiveExperiment: interval_slots must be positive");
+  }
+  if (workload.requests == 0) {
+    return Status::InvalidArgument(
+        "RunAdaptiveExperiment: workload has no requests");
+  }
+
+  const std::vector<sim::ClientRequest> requests =
+      GenerateDriftingRequests(workload, files.size());
+
+  // The static baseline: the caller's program, or — when none is given —
+  // one seeded from *pre-flip* demand, so it is the best program for
+  // yesterday's traffic rather than a strawman.
+  broadcast::BroadcastProgram baseline;
+  if (initial != nullptr) {
+    baseline = *initial;
+  } else {
+    const ZipfDistribution zipf(files.size(), workload.theta);
+    BDISK_ASSIGN_OR_RETURN(
+        ProgramOptimizer optimizer,
+        ProgramOptimizer::Create(files, options.optimizer));
+    BDISK_ASSIGN_OR_RETURN(OptimizedProgram seeded,
+                           optimizer.Optimize(zipf.Probabilities(), pool));
+    baseline = std::move(seeded.program);
+  }
+
+  BDISK_ASSIGN_OR_RETURN(
+      AdaptiveController controller,
+      AdaptiveController::Create(files, baseline, options));
+
+  // Walk the controller over the trace, one interval at a time. Decisions
+  // consume only arrivals, so the timeline is causal: the program at slot
+  // t depends only on requests issued before t's interval.
+  const std::uint64_t intervals =
+      (workload.arrival_horizon + interval_slots - 1) / interval_slots;
+  std::vector<std::vector<std::uint64_t>> interval_counts(
+      intervals, std::vector<std::uint64_t>(files.size(), 0));
+  for (const sim::ClientRequest& req : requests) {
+    const std::uint64_t i =
+        std::min<std::uint64_t>(intervals - 1,
+                                req.start_slot / interval_slots);
+    ++interval_counts[i][req.file];
+  }
+  for (std::uint64_t i = 0; i < intervals; ++i) {
+    auto swapped =
+        controller.EndInterval(interval_counts[i], (i + 1) * interval_slots,
+                               pool);
+    if (!swapped.ok()) return swapped.status();
+  }
+
+  // Replay the identical trace against both timelines over the same fault
+  // realization (one model, Reset() by each Simulator).
+  const std::uint64_t tail =
+      8 * std::max(baseline.DataCycleLength(),
+                   controller.schedule().MaxDataCycleLength());
+  const std::uint64_t horizon = workload.arrival_horizon + tail;
+  sim::BernoulliFaultModel faults(loss_probability, fault_seed);
+
+  sim::Simulator static_sim(baseline, &faults, horizon);
+  BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics static_metrics,
+                         static_sim.RunRequests(requests, pool));
+
+  sim::Simulator adaptive_sim(controller.schedule(), &faults, horizon);
+  BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics adaptive_metrics,
+                         adaptive_sim.RunRequests(requests, pool));
+
+  return AdaptiveExperimentResult{std::move(static_metrics),
+                                  std::move(adaptive_metrics),
+                                  controller.swap_count(),
+                                  controller.schedule()};
+}
+
+}  // namespace bdisk::adaptive

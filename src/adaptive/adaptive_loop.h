@@ -1,0 +1,150 @@
+/// \file adaptive_loop.h
+/// \brief The closed adaptation loop: demand in, epoch schedule out.
+///
+/// AdaptiveController chains the three adaptive components — estimator,
+/// optimizer, hot-swap coordinator — into the production control loop: at
+/// every adaptation-interval boundary it folds the interval's request
+/// counts, re-optimizes against the decayed demand estimate, and schedules
+/// a hot swap when (and only when) the candidate's exact expected mean
+/// delay beats the incumbent's by a configurable margin.
+///
+/// Determinism contract: the controller consumes only request *arrivals*
+/// (not retrieval outcomes), so the resulting epoch schedule is a pure
+/// function of the request trace and options — independent of thread
+/// count, and causally valid: the program governing slot t depends only on
+/// requests issued before t's interval. This is what lets the adaptive
+/// experiment first derive the full schedule and then replay the trace
+/// through the sharded simulator under the usual bit-exact parallelism
+/// contract.
+///
+/// DriftingZipfWorkload + GenerateDriftingRequests model the demand shift
+/// the subsystem exists for: Zipf(theta)-skewed requests whose popularity
+/// ranking *reverses* at `flip_slot` (yesterday's cold files are today's
+/// hot ones). RunAdaptiveExperiment replays one such trace against the
+/// static initial program and against the adaptive schedule and reports
+/// both metric sets.
+
+#ifndef BDISK_ADAPTIVE_ADAPTIVE_LOOP_H_
+#define BDISK_ADAPTIVE_ADAPTIVE_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/demand_estimator.h"
+#include "adaptive/hot_swap.h"
+#include "adaptive/program_optimizer.h"
+#include "bdisk/flat_builder.h"
+#include "common/status.h"
+#include "sim/fault_model.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+
+namespace bdisk::adaptive {
+
+/// \brief Control-loop tuning.
+struct AdaptiveLoopOptions {
+  /// Estimator decay per adaptation interval.
+  double decay = 0.3;
+  /// Re-optimize only after at least this many requests in an interval
+  /// (noise gate).
+  std::uint64_t min_interval_requests = 16;
+  /// Swap only if the candidate's expected mean delay undercuts the
+  /// incumbent's (under the same demand estimate) by this fraction.
+  double improvement_threshold = 0.05;
+  /// Candidate search options.
+  OptimizerOptions optimizer;
+};
+
+/// \brief Estimator -> optimizer -> hot-swap, one interval at a time.
+class AdaptiveController {
+ public:
+  /// \param files    canonical file population (geometry fixed for the
+  ///                 lifetime of the controller).
+  /// \param initial  program governing from slot 0 (must match `files`).
+  static Result<AdaptiveController> Create(
+      std::vector<broadcast::FlatFileSpec> files,
+      broadcast::BroadcastProgram initial, AdaptiveLoopOptions options = {});
+
+  /// Closes one adaptation interval: folds `counts` (requests per file
+  /// observed during the interval) into the estimator, re-optimizes, and —
+  /// if the improvement clears the threshold — schedules a hot swap at the
+  /// first period boundary at or after `interval_end_slot`. Returns true
+  /// iff a swap was scheduled.
+  Result<bool> EndInterval(const std::vector<std::uint64_t>& counts,
+                           std::uint64_t interval_end_slot,
+                           runtime::ThreadPool* pool = nullptr);
+
+  const sim::EpochSchedule& schedule() const {
+    return coordinator_.schedule();
+  }
+  const DemandEstimator& estimator() const { return estimator_; }
+  std::size_t swap_count() const { return coordinator_.epoch_count() - 1; }
+
+ private:
+  AdaptiveController(DemandEstimator estimator, ProgramOptimizer optimizer,
+                     HotSwapCoordinator coordinator,
+                     AdaptiveLoopOptions options)
+      : estimator_(std::move(estimator)), optimizer_(std::move(optimizer)),
+        coordinator_(std::move(coordinator)), options_(std::move(options)) {}
+
+  DemandEstimator estimator_;
+  ProgramOptimizer optimizer_;
+  HotSwapCoordinator coordinator_;
+  AdaptiveLoopOptions options_;
+};
+
+/// \brief Zipf-skewed request trace whose popularity ranking reverses at
+/// `flip_slot`.
+struct DriftingZipfWorkload {
+  /// Total requests, spread evenly over [0, arrival_horizon).
+  std::uint64_t requests = 20000;
+  /// Zipf skew parameter.
+  double theta = 0.95;
+  /// Arrivals occupy [0, arrival_horizon).
+  std::uint64_t arrival_horizon = 100000;
+  /// Requests arriving at or after this slot draw from the *reversed*
+  /// popularity ranking.
+  std::uint64_t flip_slot = 50000;
+  /// Base seed; request k draws from runtime::StreamRng(seed, k), so the
+  /// trace is independent of generation order.
+  std::uint64_t seed = 1;
+};
+
+/// \brief Generates the request trace. Arrivals are near-uniformly spread
+/// over [0, arrival_horizon) but per-request jitter makes them not
+/// strictly sorted; consumers must bin or sort by start_slot themselves.
+std::vector<sim::ClientRequest> GenerateDriftingRequests(
+    const DriftingZipfWorkload& workload, std::size_t file_count);
+
+/// \brief Static-vs-adaptive comparison on one drifting trace.
+struct AdaptiveExperimentResult {
+  /// Replay against the initial program, never re-optimized.
+  sim::SimulationMetrics static_metrics;
+  /// Replay against the controller's epoch schedule.
+  sim::SimulationMetrics adaptive_metrics;
+  /// Hot swaps the controller scheduled.
+  std::size_t swaps = 0;
+  /// The adaptive timeline (for inspection / further replay).
+  sim::EpochSchedule schedule;
+};
+
+/// \brief Runs the full experiment: walks the controller over
+/// `interval_slots`-sized windows of the trace, then replays the identical
+/// trace against both timelines over a fault realization drawn from
+/// `loss_probability` / `fault_seed`.
+///
+/// `initial` (when non-null) is both the static baseline and the
+/// controller's starting program — e.g. the planner's pinwheel program for
+/// `bdisk_planner --adaptive`. When null, the initial program is seeded
+/// from the optimizer under *pre-flip* demand, so the static baseline is
+/// well tuned for yesterday's traffic, not a strawman.
+Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
+    const std::vector<broadcast::FlatFileSpec>& files,
+    const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
+    const AdaptiveLoopOptions& options, double loss_probability,
+    std::uint64_t fault_seed, runtime::ThreadPool* pool = nullptr,
+    const broadcast::BroadcastProgram* initial = nullptr);
+
+}  // namespace bdisk::adaptive
+
+#endif  // BDISK_ADAPTIVE_ADAPTIVE_LOOP_H_

@@ -1,0 +1,33 @@
+#include "adaptive/hot_swap.h"
+
+#include <utility>
+#include <vector>
+
+namespace bdisk::adaptive {
+
+HotSwapCoordinator::HotSwapCoordinator(broadcast::BroadcastProgram initial)
+    : schedule_(sim::EpochSchedule::Single(std::move(initial))) {}
+
+Result<std::uint64_t> HotSwapCoordinator::ScheduleSwap(
+    broadcast::BroadcastProgram next, std::uint64_t not_before_slot) {
+  const sim::ProgramEpoch& last = schedule_.epochs().back();
+  const std::uint64_t period = last.program.period();
+  // First period boundary at or after not_before_slot, strictly after the
+  // current epoch's start.
+  std::uint64_t offset = not_before_slot > last.start_slot
+                             ? not_before_slot - last.start_slot
+                             : 1;
+  offset = (offset + period - 1) / period * period;
+  const std::uint64_t swap_slot = last.start_slot + offset;
+
+  std::vector<sim::ProgramEpoch> epochs = schedule_.epochs();
+  epochs.push_back(sim::ProgramEpoch{swap_slot, std::move(next)});
+  auto updated = sim::EpochSchedule::Create(std::move(epochs));
+  if (!updated.ok()) {
+    return updated.status().WithContext("HotSwapCoordinator");
+  }
+  schedule_ = std::move(*updated);
+  return swap_slot;
+}
+
+}  // namespace bdisk::adaptive

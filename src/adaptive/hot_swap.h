@@ -1,0 +1,66 @@
+/// \file hot_swap.h
+/// \brief Atomic program transitions for a live broadcast channel.
+///
+/// The coordinator owns the channel's epoch timeline (sim/epoch.h). A swap
+/// request names the replacement program and the earliest slot it may take
+/// effect; the coordinator aligns the transition to the next period
+/// boundary of the outgoing program — the channel finishes a whole period,
+/// then every subsequent slot is governed by the new program. Validation
+/// (delegated to EpochSchedule::Create) rejects any replacement that
+/// changes file geometry, so the hot-swap guarantee holds by construction:
+///
+///   In-flight IDA retrievals spanning the switch still reconstruct.
+///   Coded blocks depend only on (m, n, block size, contents) — all
+///   epoch-invariant — so a client that collected j < m blocks under the
+///   old program completes with m - j blocks heard under the new one, and
+///   the reconstruction is bit-identical to a from-scratch retrieval under
+///   either program (clients retain their block indices keyed by program
+///   epoch; see ReconstructingClient::Offer).
+///
+/// sim::BroadcastServer and sim::Simulator consume the coordinator's
+/// schedule directly: constructing them over `schedule()` *is* the atomic
+/// transition — there is no window in which a slot is governed by a
+/// half-installed program.
+
+#ifndef BDISK_ADAPTIVE_HOT_SWAP_H_
+#define BDISK_ADAPTIVE_HOT_SWAP_H_
+
+#include <cstdint>
+
+#include "bdisk/program.h"
+#include "common/status.h"
+#include "sim/epoch.h"
+
+namespace bdisk::adaptive {
+
+/// \brief Owner of a broadcast channel's epoch timeline.
+class HotSwapCoordinator {
+ public:
+  /// Starts the timeline with `initial` governing from slot 0.
+  explicit HotSwapCoordinator(broadcast::BroadcastProgram initial);
+
+  /// Appends an epoch running `next`, effective at the first period
+  /// boundary of the current (last) program at or after `not_before_slot`
+  /// — and strictly after the current epoch's start. Fails (leaving the
+  /// timeline unchanged) if `next` changes file geometry. Returns the
+  /// swap slot.
+  Result<std::uint64_t> ScheduleSwap(broadcast::BroadcastProgram next,
+                                     std::uint64_t not_before_slot);
+
+  /// The timeline so far (last epoch extends forever).
+  const sim::EpochSchedule& schedule() const { return schedule_; }
+
+  /// Program governing the channel from the latest swap on.
+  const broadcast::BroadcastProgram& current_program() const {
+    return schedule_.epochs().back().program;
+  }
+
+  std::size_t epoch_count() const { return schedule_.epoch_count(); }
+
+ private:
+  sim::EpochSchedule schedule_;
+};
+
+}  // namespace bdisk::adaptive
+
+#endif  // BDISK_ADAPTIVE_HOT_SWAP_H_

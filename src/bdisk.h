@@ -13,6 +13,7 @@
 #include "common/random.h"    // IWYU pragma: export
 #include "common/stats.h"     // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
+#include "common/zipf.h"      // IWYU pragma: export
 
 // Information dispersal (Rabin's IDA + Bestavros' AIDA).
 #include "gf/gf256.h"         // IWYU pragma: export
@@ -51,10 +52,18 @@
 // Simulation and the byte-level data plane.
 #include "sim/cache.h"        // IWYU pragma: export
 #include "sim/client.h"       // IWYU pragma: export
+#include "sim/epoch.h"        // IWYU pragma: export
 #include "sim/fault_model.h"  // IWYU pragma: export
 #include "sim/metrics.h"      // IWYU pragma: export
 #include "sim/server.h"       // IWYU pragma: export
 #include "sim/simulation.h"   // IWYU pragma: export
 #include "sim/versioned.h"    // IWYU pragma: export
+
+// Online adaptation: demand estimation, incremental re-optimization,
+// hot-swap program transitions.
+#include "adaptive/adaptive_loop.h"      // IWYU pragma: export
+#include "adaptive/demand_estimator.h"   // IWYU pragma: export
+#include "adaptive/hot_swap.h"           // IWYU pragma: export
+#include "adaptive/program_optimizer.h"  // IWYU pragma: export
 
 #endif  // BDISK_BDISK_H_

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <sstream>
+#include <unordered_set>
 
 namespace bdisk::broadcast {
 
@@ -75,6 +76,7 @@ Result<std::vector<std::uint64_t>> ParseUintList(const std::string& s,
 
 Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
   WorkloadSpec spec;
+  std::unordered_set<std::string> names;
   std::istringstream stream(text);
   std::string line;
   int line_no = 0;
@@ -99,6 +101,9 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       if (tokens.size() < 2) return LineError(line_no, "file needs a name");
       ByteFileSpec f;
       f.name = tokens[1];
+      if (!names.insert(f.name).second) {
+        return LineError(line_no, "duplicate file name '" + f.name + "'");
+      }
       bool have_bytes = false;
       bool have_latency = false;
       for (std::size_t i = 2; i < tokens.size(); ++i) {
@@ -125,6 +130,15 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       if (!have_bytes || !have_latency) {
         return LineError(line_no, "file needs bytes= and latency=");
       }
+      if (f.bytes == 0) {
+        return LineError(line_no, "file '" + f.name +
+                                      "' has zero length; bytes must be "
+                                      "positive");
+      }
+      if (!(f.latency_seconds > 0.0)) {
+        return LineError(line_no, "file '" + f.name +
+                                      "' needs a positive latency");
+      }
       spec.byte_files.push_back(std::move(f));
       continue;
     }
@@ -133,6 +147,9 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       if (tokens.size() < 2) return LineError(line_no, "gfile needs a name");
       GeneralizedFileSpec f;
       f.name = tokens[1];
+      if (!names.insert(f.name).second) {
+        return LineError(line_no, "duplicate file name '" + f.name + "'");
+      }
       bool have_blocks = false;
       bool have_latencies = false;
       for (std::size_t i = 2; i < tokens.size(); ++i) {
@@ -155,6 +172,17 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       }
       if (!have_blocks || !have_latencies) {
         return LineError(line_no, "gfile needs blocks= and latencies=");
+      }
+      if (f.size_blocks == 0) {
+        return LineError(line_no, "gfile '" + f.name +
+                                      "' has zero length; blocks must be "
+                                      "positive");
+      }
+      for (std::uint64_t d : f.latency_slots) {
+        if (d == 0) {
+          return LineError(line_no, "gfile '" + f.name +
+                                        "' has a zero latency bound");
+        }
       }
       spec.generalized_files.push_back(std::move(f));
       continue;

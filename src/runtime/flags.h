@@ -1,14 +1,18 @@
 /// \file flags.h
-/// \brief Command-line parsing for the `--threads N` flag.
+/// \brief Command-line parsing for the flags shared across executables.
 ///
 /// Pools are owned at the edge (docs/ARCHITECTURE.md), so every executable
 /// that takes a thread count parses the same flag. One parser keeps the
 /// semantics uniform across benches and tools: `--threads N` or
 /// `--threads=N`; absent, zero, negative, or malformed values fall back.
+/// The generic UintFlag / DoubleFlag / ConsumeBoolFlag helpers give bench
+/// and tool parameters (`--files N`, `--theta X`, `--adaptive`) the same
+/// two spellings and fallback behaviour.
 
 #ifndef BDISK_RUNTIME_FLAGS_H_
 #define BDISK_RUNTIME_FLAGS_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -70,6 +74,67 @@ inline unsigned ConsumeThreadsFlag(int* argc, char** argv,
   *argc = out;
   argv[out] = nullptr;  // Preserve the argv[argc] == NULL guarantee.
   return threads;
+}
+
+/// \brief Value token of `--<name> V` / `--<name>=V`, or nullptr when the
+/// flag is absent or valueless.
+inline const char* FlagValueToken(int argc, char** argv, const char* name) {
+  const std::size_t name_len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const char* body = argv[i] + 2;
+    if (std::strncmp(body, name, name_len) != 0) continue;
+    if (body[name_len] == '\0') {
+      if (i + 1 < argc) return argv[i + 1];
+    } else if (body[name_len] == '=') {
+      return body + name_len + 1;
+    }
+  }
+  return nullptr;
+}
+
+/// \brief Parses `--<name> N` / `--<name>=N` as an unsigned integer;
+/// returns `fallback` when absent or malformed. Negative values are
+/// malformed (strtoull would silently wrap them).
+inline std::uint64_t UintFlag(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const char* token = FlagValueToken(argc, argv, name);
+  if (token == nullptr) return fallback;
+  if (token[0] < '0' || token[0] > '9') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token, &end, 10);
+  if (end == token || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+/// \brief Parses `--<name> X` / `--<name>=X` as a double; returns
+/// `fallback` when absent or malformed.
+inline double DoubleFlag(int argc, char** argv, const char* name,
+                         double fallback) {
+  const char* token = FlagValueToken(argc, argv, name);
+  if (token == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(token, &end);
+  if (end == token || *end != '\0') return fallback;
+  return value;
+}
+
+/// \brief True iff `--<name>` appears in argv; removes it (compacting argv
+/// and updating *argc) so the caller can treat the rest as positional.
+inline bool ConsumeBoolFlag(int* argc, char** argv, const char* name) {
+  bool present = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0 &&
+        std::strcmp(argv[i] + 2, name) == 0) {
+      present = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;  // Preserve the argv[argc] == NULL guarantee.
+  return present;
 }
 
 }  // namespace bdisk::runtime

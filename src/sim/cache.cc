@@ -1,7 +1,6 @@
 #include "sim/cache.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/check.h"
 
@@ -78,32 +77,6 @@ std::vector<broadcast::FileIndex> ClientCache::Contents() const {
   for (const auto& [file, entry] : entries_) out.push_back(file);
   std::sort(out.begin(), out.end());
   return out;
-}
-
-ZipfDistribution::ZipfDistribution(std::size_t n, double theta) {
-  BDISK_CHECK(n > 0);
-  probs_.resize(n);
-  double norm = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    probs_[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
-    norm += probs_[i];
-  }
-  cumulative_.resize(n);
-  double running = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    probs_[i] /= norm;
-    running += probs_[i];
-    cumulative_[i] = running;
-  }
-  cumulative_.back() = 1.0;
-}
-
-std::size_t ZipfDistribution::Sample(double u) const {
-  const auto it =
-      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
-  return static_cast<std::size_t>(
-      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
-                               static_cast<std::ptrdiff_t>(probs_.size()) - 1));
 }
 
 }  // namespace bdisk::sim

@@ -74,23 +74,6 @@ class ClientCache {
   std::list<broadcast::FileIndex> lru_;
 };
 
-/// \brief Zipf(theta) access distribution over `n` items: item i has
-/// probability proportional to 1 / (i + 1)^theta.
-class ZipfDistribution {
- public:
-  ZipfDistribution(std::size_t n, double theta);
-
-  /// Access probability of item i.
-  double ProbabilityOf(std::size_t i) const { return probs_[i]; }
-
-  /// Samples an item given a uniform double u in [0, 1).
-  std::size_t Sample(double u) const;
-
- private:
-  std::vector<double> probs_;
-  std::vector<double> cumulative_;
-};
-
 }  // namespace bdisk::sim
 
 #endif  // BDISK_SIM_CACHE_H_

@@ -17,7 +17,8 @@ ReconstructingClient::ReconstructingClient(ida::FileId file, std::uint32_t m,
   buffer_.reserve(m);
 }
 
-bool ReconstructingClient::Offer(const ida::Block& block) {
+bool ReconstructingClient::Offer(const ida::Block& block,
+                                 std::uint64_t epoch) {
   if (block.header.file_id != file_) return false;
   if (block.header.reconstruct_threshold != m_ ||
       block.header.total_blocks != n_ || block.header.block_index >= n_) {
@@ -28,7 +29,23 @@ bool ReconstructingClient::Offer(const ida::Block& block) {
   have_[block.header.block_index] = true;
   ++distinct_;
   buffer_.push_back(block);
+  block_epochs_.push_back(epoch);
   return CanReconstruct();
+}
+
+std::uint32_t ReconstructingClient::EpochsSpanned() const {
+  std::uint32_t distinct_epochs = 0;
+  for (std::size_t i = 0; i < block_epochs_.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (block_epochs_[j] == block_epochs_[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++distinct_epochs;
+  }
+  return distinct_epochs;
 }
 
 Result<std::vector<std::uint8_t>> ReconstructingClient::Reconstruct() const {
@@ -44,6 +61,7 @@ void ReconstructingClient::Clear() {
   have_.assign(n_, false);
   distinct_ = 0;
   buffer_.clear();
+  block_epochs_.clear();
 }
 
 Result<SessionResult> RunRetrievalSession(const BroadcastServer& server,
@@ -64,13 +82,14 @@ Result<SessionResult> RunRetrievalSession(const BroadcastServer& server,
     if (t < start_slot) continue;  // Channel state still advances.
     const auto block = server.TransmissionAt(t);
     if (!block.has_value() || lost) continue;
-    if (client.Offer(*block)) {
+    if (client.Offer(*block, server.schedule().EpochIndexAt(t))) {
       result.completed = true;
       result.completion_slot = t;
       result.latency = t - start_slot + 1;
       break;
     }
   }
+  result.epochs_spanned = client.EpochsSpanned();
   if (result.completed) {
     BDISK_ASSIGN_OR_RETURN(result.data, client.Reconstruct());
   }

@@ -32,13 +32,25 @@ class ReconstructingClient {
 
   /// Offers a received block (any file; non-matching blocks are ignored).
   /// Returns true iff the client now has enough blocks to reconstruct.
-  bool Offer(const ida::Block& block);
+  ///
+  /// `epoch` keys the block by the program epoch it was heard under
+  /// (sim/epoch.h). Because hot swaps preserve dispersal geometry and
+  /// contents, blocks from different epochs are mutually reconstructing —
+  /// the client keeps collecting across a swap and Reconstruct() is
+  /// bit-identical to a single-epoch retrieval. The per-epoch key exists so
+  /// that a future content-mutating transition can Clear() stale partials
+  /// (as the versioned server does for updates) and so sessions can report
+  /// how many epochs they spanned.
+  bool Offer(const ida::Block& block, std::uint64_t epoch = 0);
 
   /// True iff m distinct blocks have been collected.
   bool CanReconstruct() const { return distinct_ >= m_; }
 
   /// Number of distinct blocks collected so far.
   std::uint32_t distinct_blocks() const { return distinct_; }
+
+  /// Number of distinct program epochs among the collected blocks.
+  std::uint32_t EpochsSpanned() const;
 
   /// Reconstructs the file. Fails with DataLoss before CanReconstruct().
   Result<std::vector<std::uint8_t>> Reconstruct() const;
@@ -54,6 +66,9 @@ class ReconstructingClient {
   std::vector<bool> have_;
   std::uint32_t distinct_ = 0;
   std::vector<ida::Block> buffer_;
+  // Epoch under which each buffered block was collected (parallel to
+  // buffer_).
+  std::vector<std::uint64_t> block_epochs_;
 };
 
 /// \brief Outcome of a byte-level retrieval session.
@@ -61,6 +76,9 @@ struct SessionResult {
   bool completed = false;
   std::uint64_t completion_slot = 0;
   std::uint64_t latency = 0;
+  /// Distinct program epochs the collected blocks were heard under (1 for
+  /// a single-program server; >= 2 when the retrieval spanned a hot swap).
+  std::uint32_t epochs_spanned = 0;
   std::vector<std::uint8_t> data;
 };
 

@@ -1,0 +1,108 @@
+#include "sim/epoch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bdisk::sim {
+
+namespace {
+
+Status CheckGeometry(const broadcast::BroadcastProgram& a,
+                     const broadcast::BroadcastProgram& b,
+                     std::size_t epoch_index) {
+  if (a.file_count() != b.file_count()) {
+    return Status::InvalidArgument(
+        "EpochSchedule: epoch " + std::to_string(epoch_index) + " has " +
+        std::to_string(b.file_count()) + " files, expected " +
+        std::to_string(a.file_count()));
+  }
+  for (std::size_t f = 0; f < a.file_count(); ++f) {
+    const broadcast::ProgramFile& fa = a.files()[f];
+    const broadcast::ProgramFile& fb = b.files()[f];
+    if (fa.name != fb.name || fa.m != fb.m || fa.n != fb.n) {
+      return Status::InvalidArgument(
+          "EpochSchedule: epoch " + std::to_string(epoch_index) +
+          " changes the geometry of file " + std::to_string(f) + " ('" +
+          fa.name + "' m=" + std::to_string(fa.m) + " n=" +
+          std::to_string(fa.n) + " vs '" + fb.name + "' m=" +
+          std::to_string(fb.m) + " n=" + std::to_string(fb.n) +
+          "); hot swaps may change the schedule, never the code geometry");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EpochSchedule> EpochSchedule::Create(std::vector<ProgramEpoch> epochs) {
+  if (epochs.empty()) {
+    return Status::InvalidArgument("EpochSchedule: no epochs");
+  }
+  if (epochs.front().start_slot != 0) {
+    return Status::InvalidArgument(
+        "EpochSchedule: the first epoch must start at slot 0, got " +
+        std::to_string(epochs.front().start_slot));
+  }
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    if (epochs[e].program.period() == 0) {
+      return Status::InvalidArgument("EpochSchedule: epoch " +
+                                     std::to_string(e) +
+                                     " holds an empty program");
+    }
+    if (e == 0) continue;
+    const std::uint64_t prev_start = epochs[e - 1].start_slot;
+    const std::uint64_t start = epochs[e].start_slot;
+    if (start <= prev_start) {
+      return Status::InvalidArgument(
+          "EpochSchedule: epoch starts must strictly ascend (epoch " +
+          std::to_string(e) + " at slot " + std::to_string(start) + ")");
+    }
+    const std::uint64_t period = epochs[e - 1].program.period();
+    if ((start - prev_start) % period != 0) {
+      return Status::InvalidArgument(
+          "EpochSchedule: epoch " + std::to_string(e) + " starts at slot " +
+          std::to_string(start) + ", which is not a period boundary of the " +
+          "outgoing program (start " + std::to_string(prev_start) +
+          ", period " + std::to_string(period) + ")");
+    }
+    BDISK_RETURN_NOT_OK(
+        CheckGeometry(epochs.front().program, epochs[e].program, e));
+  }
+  return EpochSchedule(std::move(epochs));
+}
+
+EpochSchedule EpochSchedule::Single(broadcast::BroadcastProgram program) {
+  std::vector<ProgramEpoch> epochs;
+  epochs.push_back(ProgramEpoch{0, std::move(program)});
+  auto schedule = Create(std::move(epochs));
+  BDISK_CHECK(schedule.ok());
+  return std::move(*schedule);
+}
+
+std::size_t EpochSchedule::EpochIndexAt(std::uint64_t t) const {
+  // Last epoch whose start_slot <= t.
+  const auto it = std::upper_bound(
+      epochs_.begin(), epochs_.end(), t,
+      [](std::uint64_t slot, const ProgramEpoch& e) {
+        return slot < e.start_slot;
+      });
+  BDISK_DCHECK(it != epochs_.begin());
+  return static_cast<std::size_t>(it - epochs_.begin()) - 1;
+}
+
+std::optional<broadcast::TransmissionRef> EpochSchedule::TransmissionAt(
+    std::uint64_t t) const {
+  const ProgramEpoch& epoch = epochs_[EpochIndexAt(t)];
+  return epoch.program.TransmissionAt(t - epoch.start_slot);
+}
+
+std::uint64_t EpochSchedule::MaxDataCycleLength() const {
+  std::uint64_t max_cycle = 0;
+  for (const ProgramEpoch& e : epochs_) {
+    max_cycle = std::max(max_cycle, e.program.DataCycleLength());
+  }
+  return max_cycle;
+}
+
+}  // namespace bdisk::sim

@@ -1,0 +1,92 @@
+/// \file epoch.h
+/// \brief Epoch schedules: a timeline of broadcast programs with hot-swap
+/// transitions at period boundaries.
+///
+/// A production broadcast server re-optimizes its program as demand drifts
+/// (src/adaptive/); the *epoch schedule* is the resulting timeline: epoch e
+/// runs program P_e from its start slot until the next epoch begins. The
+/// schedule enforces the hot-swap contract that makes transitions safe for
+/// in-flight IDA retrievals:
+///
+/// * **Geometry invariance** — every epoch's program carries the same files
+///   in the same index order with identical (name, m_i, n_i). Dispersed
+///   blocks depend only on (m_i, n_i, block size, contents), so block k of
+///   file f is the *same byte string* in every epoch: a client may combine
+///   blocks collected under different epochs and reconstruction is
+///   bit-identical to a single-epoch retrieval. Only the transmission
+///   *schedule* changes across a swap, never the code.
+/// * **Boundary alignment** — each epoch after the first starts at a slot
+///   that is a whole number of the outgoing program's periods after that
+///   epoch's start (the outgoing program completes a full period, then the
+///   channel atomically switches).
+///
+/// Within an epoch, block rotation restarts at the epoch's start slot: the
+/// k-th transmission of file f *within the epoch* carries block k mod n_f.
+/// Across a boundary a client may therefore see a block index repeat sooner
+/// than the data-cycle rotation would allow — that can only delay
+/// completion, never corrupt it (blocks are self-identifying and
+/// epoch-invariant).
+
+#ifndef BDISK_SIM_EPOCH_H_
+#define BDISK_SIM_EPOCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bdisk/program.h"
+#include "common/status.h"
+
+namespace bdisk::sim {
+
+/// \brief One epoch: a program and the absolute slot at which it takes over.
+struct ProgramEpoch {
+  /// First absolute slot governed by this epoch's program.
+  std::uint64_t start_slot = 0;
+  broadcast::BroadcastProgram program;
+};
+
+/// \brief A validated timeline of programs. The last epoch extends forever.
+class EpochSchedule {
+ public:
+  /// Builds a schedule. Requirements: at least one epoch; the first starts
+  /// at slot 0; starts strictly ascend; each start after the first is a
+  /// whole number of the *previous* epoch's periods after that epoch's
+  /// start; and all programs share identical file geometry (count, order,
+  /// name, m, n — latency vectors may differ).
+  static Result<EpochSchedule> Create(std::vector<ProgramEpoch> epochs);
+
+  /// Single-epoch schedule (cannot fail for a valid program).
+  static EpochSchedule Single(broadcast::BroadcastProgram program);
+
+  const std::vector<ProgramEpoch>& epochs() const { return epochs_; }
+  std::size_t epoch_count() const { return epochs_.size(); }
+
+  /// Index of the epoch governing absolute slot `t`.
+  std::size_t EpochIndexAt(std::uint64_t t) const;
+
+  /// File and rotated block index at absolute slot `t` (nullopt when idle).
+  /// Rotation is epoch-local: the governing epoch's program is evaluated at
+  /// slot `t - start_slot`.
+  std::optional<broadcast::TransmissionRef> TransmissionAt(
+      std::uint64_t t) const;
+
+  /// The shared file table (identical across epochs; epoch 0's instance).
+  const std::vector<broadcast::ProgramFile>& files() const {
+    return epochs_.front().program.files();
+  }
+  std::size_t file_count() const { return files().size(); }
+
+  /// Largest data cycle across epochs (horizon sizing).
+  std::uint64_t MaxDataCycleLength() const;
+
+ private:
+  explicit EpochSchedule(std::vector<ProgramEpoch> epochs)
+      : epochs_(std::move(epochs)) {}
+
+  std::vector<ProgramEpoch> epochs_;
+};
+
+}  // namespace bdisk::sim
+
+#endif  // BDISK_SIM_EPOCH_H_

@@ -6,15 +6,23 @@ Result<BroadcastServer> BroadcastServer::Create(
     broadcast::BroadcastProgram program,
     const std::vector<std::vector<std::uint8_t>>& contents,
     std::size_t block_size) {
-  if (contents.size() != program.file_count()) {
+  return Create(EpochSchedule::Single(std::move(program)), contents,
+                block_size);
+}
+
+Result<BroadcastServer> BroadcastServer::Create(
+    EpochSchedule schedule,
+    const std::vector<std::vector<std::uint8_t>>& contents,
+    std::size_t block_size) {
+  if (contents.size() != schedule.file_count()) {
     return Status::InvalidArgument(
         "BroadcastServer: need contents for all " +
-        std::to_string(program.file_count()) + " files, got " +
+        std::to_string(schedule.file_count()) + " files, got " +
         std::to_string(contents.size()));
   }
-  BroadcastServer server(std::move(program), block_size);
-  for (broadcast::FileIndex f = 0; f < server.program_.file_count(); ++f) {
-    const broadcast::ProgramFile& pf = server.program_.files()[f];
+  BroadcastServer server(std::move(schedule), block_size);
+  for (broadcast::FileIndex f = 0; f < server.schedule_.file_count(); ++f) {
+    const broadcast::ProgramFile& pf = server.schedule_.files()[f];
     BDISK_ASSIGN_OR_RETURN(ida::Dispersal engine,
                            ida::Dispersal::Create(pf.m, pf.n, block_size));
     auto blocks = engine.Disperse(static_cast<ida::FileId>(f), contents[f]);
@@ -30,7 +38,7 @@ Result<BroadcastServer> BroadcastServer::Create(
 
 std::optional<ida::Block> BroadcastServer::TransmissionAt(
     std::uint64_t t) const {
-  const auto tx = program_.TransmissionAt(t);
+  const auto tx = schedule_.TransmissionAt(t);
   if (!tx.has_value()) return std::nullopt;
   return coded_[tx->file][tx->block_index];
 }

@@ -17,10 +17,19 @@
 #include "bdisk/program.h"
 #include "common/status.h"
 #include "ida/aida.h"
+#include "sim/epoch.h"
 
 namespace bdisk::sim {
 
-/// \brief Broadcast server executing a program over real file contents.
+/// \brief Broadcast server executing a program — or an epoch schedule of
+/// hot-swapping programs — over real file contents.
+///
+/// Files are dispersed exactly once: the epoch geometry contract
+/// (sim/epoch.h) fixes (m, n, block size, contents) across epochs, so the
+/// coded-block store is epoch-invariant and a swap changes only the
+/// slot-to-block mapping. That is what makes the transition atomic for
+/// clients: the block a client already holds is equally valid after the
+/// swap.
 class BroadcastServer {
  public:
   /// \param program   the broadcast program (copied).
@@ -33,10 +42,25 @@ class BroadcastServer {
       const std::vector<std::vector<std::uint8_t>>& contents,
       std::size_t block_size);
 
+  /// Epoch-aware variant: executes `schedule` (copied), hot-swapping
+  /// programs at the schedule's epoch boundaries.
+  static Result<BroadcastServer> Create(
+      EpochSchedule schedule,
+      const std::vector<std::vector<std::uint8_t>>& contents,
+      std::size_t block_size);
+
   /// The coded block transmitted in slot t (nullopt for idle slots).
   std::optional<ida::Block> TransmissionAt(std::uint64_t t) const;
 
-  const broadcast::BroadcastProgram& program() const { return program_; }
+  /// The program of the first epoch (the file table is identical across
+  /// epochs; single-program servers have exactly one epoch).
+  const broadcast::BroadcastProgram& program() const {
+    return schedule_.epochs().front().program;
+  }
+
+  /// The full epoch timeline this server executes.
+  const EpochSchedule& schedule() const { return schedule_; }
+
   std::size_t block_size() const { return block_size_; }
 
   /// The dispersal engine for file f (clients use the same geometry).
@@ -45,13 +69,14 @@ class BroadcastServer {
   }
 
  private:
-  BroadcastServer(broadcast::BroadcastProgram program, std::size_t block_size)
-      : program_(std::move(program)), block_size_(block_size) {}
+  BroadcastServer(EpochSchedule schedule, std::size_t block_size)
+      : schedule_(std::move(schedule)), block_size_(block_size) {}
 
-  broadcast::BroadcastProgram program_;
+  EpochSchedule schedule_;
   std::size_t block_size_;
   std::vector<ida::Dispersal> engines_;
   // coded_[f][k] = k-th dispersed block of file f (k < files()[f].n).
+  // Epoch-invariant: dispersal depends only on geometry and contents.
   std::vector<std::vector<ida::Block>> coded_;
 };
 

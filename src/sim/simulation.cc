@@ -20,16 +20,42 @@ Simulator::Simulator(const broadcast::BroadcastProgram& program,
   }
 }
 
+Simulator::Simulator(const EpochSchedule& schedule, FaultModel* faults,
+                     std::uint64_t horizon)
+    : schedule_(&schedule) {
+  BDISK_CHECK(faults != nullptr);
+  faults->Reset();
+  corrupted_.resize(horizon);
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    corrupted_[t] = faults->Corrupts(t);
+  }
+}
+
+const std::vector<broadcast::ProgramFile>& Simulator::files() const {
+  return schedule_ != nullptr ? schedule_->files() : program_->files();
+}
+
+std::optional<broadcast::TransmissionRef> Simulator::TxAt(
+    std::uint64_t t) const {
+  return schedule_ != nullptr ? schedule_->TransmissionAt(t)
+                              : program_->TransmissionAt(t);
+}
+
+std::uint64_t Simulator::MaxDataCycle() const {
+  return schedule_ != nullptr ? schedule_->MaxDataCycleLength()
+                              : program_->DataCycleLength();
+}
+
 Result<RetrievalOutcome> Simulator::Retrieve(
     const ClientRequest& request) const {
-  if (request.file >= program_->file_count()) {
+  if (request.file >= files().size()) {
     return Status::InvalidArgument("Simulator: unknown file index " +
                                    std::to_string(request.file));
   }
   if (request.start_slot >= corrupted_.size()) {
     return Status::InvalidArgument("Simulator: start beyond horizon");
   }
-  const broadcast::ProgramFile& pf = program_->files()[request.file];
+  const broadcast::ProgramFile& pf = files()[request.file];
   if (request.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
     return Status::InvalidArgument(
         "Simulator: flat client model requires n == m for file '" + pf.name +
@@ -41,7 +67,7 @@ Result<RetrievalOutcome> Simulator::Retrieve(
   std::vector<bool> have(pf.n, false);
   std::uint32_t distinct = 0;
   for (std::uint64_t t = request.start_slot; t < corrupted_.size(); ++t) {
-    const auto tx = program_->TransmissionAt(t);
+    const auto tx = TxAt(t);
     if (!tx.has_value() || tx->file != request.file) continue;
     if (corrupted_[t]) {
       ++outcome.errors_observed;
@@ -102,13 +128,13 @@ Result<RetrievalOutcome> Simulator::RetrieveTransaction(
 Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
                                                  runtime::ThreadPool* pool)
     const {
-  const std::size_t file_count = program_->file_count();
+  const std::size_t file_count = files().size();
   // Validate everything up front (per-file deadline and admissible start
   // range) so shard workers cannot fail mid-flight.
   std::vector<std::uint64_t> deadlines(file_count, 0);
   std::vector<std::uint64_t> start_ranges(file_count, 0);
   for (broadcast::FileIndex f = 0; f < file_count; ++f) {
-    const broadcast::ProgramFile& pf = program_->files()[f];
+    const broadcast::ProgramFile& pf = files()[f];
     if (config.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
       return Status::InvalidArgument(
           "Simulator: flat client model requires n == m for file '" +
@@ -125,7 +151,7 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
     // Leave room at the end of the horizon so retrievals are not cut off
     // artificially: a generous tail of several periods plus the deadline.
     const std::uint64_t tail =
-        std::max<std::uint64_t>(deadline, 4 * program_->DataCycleLength());
+        std::max<std::uint64_t>(deadline, 4 * MaxDataCycle());
     if (corrupted_.size() <= tail) {
       return Status::InvalidArgument(
           "Simulator: horizon too small for workload (need > " +
@@ -171,7 +197,7 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
   SimulationMetrics metrics;
   metrics.per_file.resize(file_count);
   for (broadcast::FileIndex f = 0; f < file_count; ++f) {
-    metrics.per_file[f].file_name = program_->files()[f].name;
+    metrics.per_file[f].file_name = files()[f].name;
   }
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
   return metrics;
@@ -179,7 +205,7 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
 
 Result<TransactionMetrics> Simulator::RunTransactionWorkload(
     const TransactionWorkloadConfig& config, runtime::ThreadPool* pool) const {
-  const std::size_t file_count = program_->file_count();
+  const std::size_t file_count = files().size();
   if (config.files_per_transaction == 0 ||
       config.files_per_transaction > file_count) {
     return Status::InvalidArgument(
@@ -188,7 +214,7 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
         std::to_string(config.files_per_transaction));
   }
   for (broadcast::FileIndex f = 0; f < file_count; ++f) {
-    const broadcast::ProgramFile& pf = program_->files()[f];
+    const broadcast::ProgramFile& pf = files()[f];
     if (config.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
       return Status::InvalidArgument(
           "Simulator: flat client model requires n == m for file '" +
@@ -196,7 +222,7 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
     }
   }
   const std::uint64_t tail = std::max<std::uint64_t>(
-      config.deadline_slots, 4 * program_->DataCycleLength());
+      config.deadline_slots, 4 * MaxDataCycle());
   if (corrupted_.size() <= tail) {
     return Status::InvalidArgument(
         "Simulator: horizon too small for workload (need > " +
@@ -235,6 +261,63 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
 
   TransactionMetrics metrics;
   for (const TransactionMetrics& tm : shard_metrics) metrics.Merge(tm);
+  return metrics;
+}
+
+Result<SimulationMetrics> Simulator::RunRequests(
+    const std::vector<ClientRequest>& requests,
+    runtime::ThreadPool* pool) const {
+  const std::size_t file_count = files().size();
+  // Validate up front so shard workers cannot fail mid-flight.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ClientRequest& req = requests[i];
+    if (req.file >= file_count) {
+      return Status::InvalidArgument("RunRequests: request " +
+                                     std::to_string(i) +
+                                     " names unknown file index " +
+                                     std::to_string(req.file));
+    }
+    if (req.start_slot >= corrupted_.size()) {
+      return Status::InvalidArgument("RunRequests: request " +
+                                     std::to_string(i) +
+                                     " starts beyond the horizon");
+    }
+    const broadcast::ProgramFile& pf = files()[req.file];
+    if (req.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
+      return Status::InvalidArgument(
+          "Simulator: flat client model requires n == m for file '" +
+          pf.name + "'");
+    }
+  }
+
+  const unsigned shards = runtime::ShardCountFor(pool, requests.size());
+  std::vector<SimulationMetrics> shard_metrics(shards);
+  runtime::ParallelFor(
+      pool, requests.size(), shards,
+      [&](unsigned shard, runtime::ShardRange range) {
+        SimulationMetrics& local = shard_metrics[shard];
+        local.per_file.resize(file_count);
+        for (std::uint64_t g = range.begin; g < range.end; ++g) {
+          auto outcome = Retrieve(requests[g]);
+          BDISK_CHECK(outcome.ok());  // Inputs were validated above.
+          FileMetrics& fm = local.per_file[requests[g].file];
+          if (outcome->completed) {
+            ++fm.completed;
+            fm.latency.Add(static_cast<double>(outcome->latency));
+            if (!outcome->met_deadline) ++fm.missed_deadline;
+          } else {
+            ++fm.incomplete;
+          }
+          fm.errors_observed += outcome->errors_observed;
+        }
+      });
+
+  SimulationMetrics metrics;
+  metrics.per_file.resize(file_count);
+  for (broadcast::FileIndex f = 0; f < file_count; ++f) {
+    metrics.per_file[f].file_name = files()[f].name;
+  }
+  for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
   return metrics;
 }
 

@@ -20,6 +20,7 @@
 #include "bdisk/program.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "sim/epoch.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 
@@ -110,6 +111,13 @@ class Simulator {
   Simulator(const broadcast::BroadcastProgram& program, FaultModel* faults,
             std::uint64_t horizon);
 
+  /// Epoch-aware variant: executes `schedule` (borrowed), whose program may
+  /// hot-swap at period boundaries. Retrievals transparently span swaps —
+  /// the epoch geometry contract (sim/epoch.h) guarantees blocks collected
+  /// under different epochs remain mutually reconstructing.
+  Simulator(const EpochSchedule& schedule, FaultModel* faults,
+            std::uint64_t horizon);
+
   /// Executes a single retrieval against the precomputed channel
   /// realization. Fails on an unknown file or a start beyond the horizon.
   Result<RetrievalOutcome> Retrieve(const ClientRequest& request) const;
@@ -137,13 +145,32 @@ class Simulator {
       const TransactionWorkloadConfig& config,
       runtime::ThreadPool* pool = nullptr) const;
 
+  /// Replays an explicit request list (e.g. a recorded or generated trace)
+  /// and aggregates per-file metrics. Requests are sharded by index across
+  /// `pool` with the usual exact-merge determinism contract; results are
+  /// bit-identical to the serial path at any thread count. Fails up front
+  /// on any invalid request (unknown file, start beyond the horizon).
+  Result<SimulationMetrics> RunRequests(
+      const std::vector<ClientRequest>& requests,
+      runtime::ThreadPool* pool = nullptr) const;
+
   /// Number of corrupted slots in the realization (diagnostics).
   std::uint64_t CorruptedSlotCount() const;
 
   std::uint64_t horizon() const { return corrupted_.size(); }
 
  private:
-  const broadcast::BroadcastProgram* program_;
+  /// Shared file table (epoch geometry is invariant, so epoch 0's in epoch
+  /// mode).
+  const std::vector<broadcast::ProgramFile>& files() const;
+  /// Transmission at absolute slot `t` under the program or schedule.
+  std::optional<broadcast::TransmissionRef> TxAt(std::uint64_t t) const;
+  /// Largest data cycle (horizon-tail sizing).
+  std::uint64_t MaxDataCycle() const;
+
+  // Exactly one of the two is non-null.
+  const broadcast::BroadcastProgram* program_ = nullptr;
+  const EpochSchedule* schedule_ = nullptr;
   std::vector<bool> corrupted_;  // One flag per slot of the realization.
 };
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/zipf.h"
 
 namespace bdisk::sim {
 namespace {

@@ -93,6 +93,92 @@ TEST(SpecParserTest, RejectsMissingAttributes) {
       ParseWorkloadSpec("gfile a blocks=2 latencies=8 color=red\n").ok());
 }
 
+TEST(SpecParserTest, RejectsDuplicateFileNames) {
+  auto byte_dup = ParseWorkloadSpec(
+      "channel 10\n"
+      "file a bytes=100 latency=1.0\n"
+      "file a bytes=200 latency=2.0\n");
+  ASSERT_FALSE(byte_dup.ok());
+  EXPECT_NE(byte_dup.status().message().find("duplicate"),
+            std::string::npos);
+  EXPECT_NE(byte_dup.status().message().find("line 3"), std::string::npos);
+
+  auto gfile_dup = ParseWorkloadSpec(
+      "gfile x blocks=1 latencies=4\n"
+      "gfile x blocks=2 latencies=8\n");
+  ASSERT_FALSE(gfile_dup.ok());
+  EXPECT_NE(gfile_dup.status().message().find("duplicate"),
+            std::string::npos);
+
+  // Duplicates across domains are caught before the mixed-domain check
+  // (both are errors; the line-specific one is more actionable).
+  EXPECT_FALSE(ParseWorkloadSpec("channel 10\n"
+                                 "file a bytes=100 latency=1.0\n"
+                                 "gfile a blocks=1 latencies=4\n")
+                   .ok());
+}
+
+TEST(SpecParserTest, RejectsZeroLengthFiles) {
+  auto zero_bytes =
+      ParseWorkloadSpec("channel 10\nfile a bytes=0 latency=1.0\n");
+  ASSERT_FALSE(zero_bytes.ok());
+  EXPECT_NE(zero_bytes.status().message().find("zero length"),
+            std::string::npos);
+
+  auto zero_blocks = ParseWorkloadSpec("gfile a blocks=0 latencies=4\n");
+  ASSERT_FALSE(zero_blocks.ok());
+  EXPECT_NE(zero_blocks.status().message().find("zero length"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, RejectsNonPositiveLatencies) {
+  EXPECT_FALSE(
+      ParseWorkloadSpec("channel 10\nfile a bytes=8 latency=0\n").ok());
+  EXPECT_FALSE(
+      ParseWorkloadSpec("channel 10\nfile a bytes=8 latency=-1.5\n").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("gfile a blocks=2 latencies=8,0\n").ok());
+}
+
+TEST(SpecParserTest, RejectsOverflowSizedFields) {
+  // 2^64 and beyond must surface as line errors, not wrap silently.
+  EXPECT_FALSE(ParseWorkloadSpec("channel 10\n"
+                                 "file a bytes=18446744073709551616 "
+                                 "latency=1.0\n")
+                   .ok());
+  auto overflow = ParseWorkloadSpec(
+      "gfile a blocks=99999999999999999999999999 latencies=4\n");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseWorkloadSpec("channel 184467440737095516160\n"
+                                 "gfile a blocks=1 latencies=4\n")
+                   .ok());
+  EXPECT_FALSE(ParseWorkloadSpec("gfile a blocks=1 "
+                                 "latencies=4,18446744073709551616\n")
+                   .ok());
+}
+
+TEST(SpecParserTest, MalformedLinesDoNotCrash) {
+  // A grab bag of malformed inputs; each must return a Status, never
+  // crash.
+  const char* cases[] = {
+      "file\n",
+      "gfile\n",
+      "channel\n",
+      "channel 10 20\n",
+      "file a bytes= latency=1\n",
+      "file a =100 latency=1\n",
+      "file a bytes=100=200 latency=1\n",
+      "gfile a blocks=1 latencies=\n",
+      "gfile a blocks=1 latencies=,\n",
+      "gfile a blocks=1 latencies=,4\n",
+      "blocksize 0\n",
+      "file a bytes=1e3 latency=1\n",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(ParseWorkloadSpec(text).ok()) << text;
+  }
+}
+
 TEST(SpecParserTest, ParsedSpecBuildsEndToEnd) {
   const std::string text =
       "gfile urgent blocks=2 latencies=16,20\n"

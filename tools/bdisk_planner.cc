@@ -8,12 +8,17 @@
 // level.
 //
 // Usage:
-//   bdisk_planner [--threads N] workload.spec
-//   bdisk_planner [--threads N] - < workload.spec
+//   bdisk_planner [--threads N] [--adaptive] workload.spec
+//   bdisk_planner [--threads N] [--adaptive] - < workload.spec
 //
 // --threads N fans the per-file worst-case delay analysis (the exact
 // adversary computation, the planner's dominant cost on big specs) out
 // across N workers; output is identical at any thread count.
+//
+// --adaptive additionally replays a synthetic drifting-Zipf demand trace
+// (popularity ranking reverses mid-run) against the planned program and
+// against the adaptive controller (src/adaptive/), printing the hot-swap
+// timeline and the static vs adaptive mean retrieval delay.
 //
 // Example byte-domain spec:
 //   channel 196608
@@ -32,9 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/adaptive_loop.h"
 #include "bdisk/bandwidth.h"
 #include "bdisk/block_size.h"
 #include "bdisk/delay_analysis.h"
+#include "bdisk/flat_builder.h"
 #include "bdisk/pinwheel_builder.h"
 #include "bdisk/spec_parser.h"
 #include "pinwheel/composite_scheduler.h"
@@ -99,7 +106,55 @@ void PrintProgram(const BuildResult& result) {
   }
 }
 
-int Plan(const std::string& text) {
+// --adaptive replay: a drifting-Zipf demand trace (ranking reverses
+// mid-run) against the planned program (static) and against the adaptive
+// controller re-optimizing over the same file population.
+int ReplayAdaptive(const BroadcastProgram& planned) {
+  std::vector<FlatFileSpec> population;
+  for (const ProgramFile& pf : planned.files()) {
+    population.push_back({pf.name, pf.m, pf.n, pf.latency_slots});
+  }
+
+  bdisk::adaptive::DriftingZipfWorkload workload;
+  workload.requests = 500 * planned.file_count();
+  workload.theta = 0.95;
+  workload.arrival_horizon = 300 * planned.period();
+  workload.flip_slot = workload.arrival_horizon / 2;
+  workload.seed = 7;
+  const std::uint64_t interval = 25 * planned.period();
+
+  auto replay = bdisk::adaptive::RunAdaptiveExperiment(
+      population, workload, interval, {}, /*loss_probability=*/0.02,
+      /*fault_seed=*/99, g_pool, &planned);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "adaptive replay failed: %s\n",
+                 replay.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nadaptive replay: Zipf(%.2f) demand over %llu slots, "
+              "ranking reversed at slot %llu, %llu requests, "
+              "re-optimization every %llu slots\n",
+              workload.theta,
+              static_cast<unsigned long long>(workload.arrival_horizon),
+              static_cast<unsigned long long>(workload.flip_slot),
+              static_cast<unsigned long long>(workload.requests),
+              static_cast<unsigned long long>(interval));
+  std::printf("  hot swaps: %zu\n", replay->swaps);
+  for (std::size_t e = 1; e < replay->schedule.epoch_count(); ++e) {
+    const auto& epoch = replay->schedule.epochs()[e];
+    std::printf("    epoch %zu from slot %llu (period %llu slots)\n", e,
+                static_cast<unsigned long long>(epoch.start_slot),
+                static_cast<unsigned long long>(epoch.program.period()));
+  }
+  const double s = replay->static_metrics.OverallMeanLatency();
+  const double a = replay->adaptive_metrics.OverallMeanLatency();
+  std::printf("  mean retrieval delay: static %.1f slots, adaptive %.1f "
+              "slots (%+.1f%%)\n",
+              s, a, 100.0 * (a - s) / s);
+  return 0;
+}
+
+int Plan(const std::string& text, bool adaptive) {
   auto spec = ParseWorkloadSpec(text);
   if (!spec.ok()) {
     std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
@@ -127,7 +182,7 @@ int Plan(const std::string& text) {
                 static_cast<unsigned long long>(
                     choice->bandwidth_blocks_per_second));
     PrintProgram(choice->build);
-    return 0;
+    return adaptive ? ReplayAdaptive(choice->build.program) : 0;
   }
 
   std::printf("slot-domain workload: %zu generalized files\n",
@@ -139,15 +194,18 @@ int Plan(const std::string& text) {
     return 1;
   }
   PrintProgram(*result);
-  return 0;
+  return adaptive ? ReplayAdaptive(result->program) : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const unsigned threads = bdisk::runtime::ConsumeThreadsFlag(&argc, argv);
+  const bool adaptive =
+      bdisk::runtime::ConsumeBoolFlag(&argc, argv, "adaptive");
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s [--threads N] <spec-file | ->\n",
+    std::fprintf(stderr,
+                 "usage: %s [--threads N] [--adaptive] <spec-file | ->\n",
                  argv[0]);
     return 2;
   }
@@ -168,5 +226,5 @@ int main(int argc, char** argv) {
     }
     text << in.rdbuf();
   }
-  return Plan(text.str());
+  return Plan(text.str(), adaptive);
 }
