@@ -16,19 +16,26 @@ namespace benchutil {
 
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
-  explicit JsonLineReporter(const char* bench_name)
-      : bench_name_(bench_name) {}
+  /// `metric_prefix` (may be empty) is prepended to every metric name —
+  /// benches whose kernels follow gf::Dispatch use it to tag lines with the
+  /// active GF implementation, so one trajectory file can carry datapoints
+  /// from several BDISK_GF_IMPL runs without colliding.
+  JsonLineReporter(const char* bench_name, std::string metric_prefix)
+      : bench_name_(bench_name), metric_prefix_(std::move(metric_prefix)) {}
 
   void ReportRuns(const std::vector<Run>& reports) override {
     ConsoleReporter::ReportRuns(reports);
     for (const Run& run : reports) {
       if (run.error_occurred) continue;
-      EmitJson(bench_name_, (run.benchmark_name() + ":real_time_ns").c_str(),
+      EmitJson(bench_name_,
+               (metric_prefix_ + run.benchmark_name() + ":real_time_ns")
+                   .c_str(),
                run.GetAdjustedRealTime(), 1);
       const auto bytes = run.counters.find("bytes_per_second");
       if (bytes != run.counters.end()) {
         EmitJson(bench_name_,
-                 (run.benchmark_name() + ":bytes_per_second").c_str(),
+                 (metric_prefix_ + run.benchmark_name() + ":bytes_per_second")
+                     .c_str(),
                  bytes->second, 1);
       }
     }
@@ -36,14 +43,15 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
 
  private:
   const char* bench_name_;
+  std::string metric_prefix_;
 };
 
 /// Drop-in BENCHMARK_MAIN() body that reports through JsonLineReporter.
-inline int RunGoogleBenchmarks(int argc, char** argv,
-                               const char* bench_name) {
+inline int RunGoogleBenchmarks(int argc, char** argv, const char* bench_name,
+                               std::string metric_prefix = std::string()) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonLineReporter reporter(bench_name);
+  JsonLineReporter reporter(bench_name, std::move(metric_prefix));
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;

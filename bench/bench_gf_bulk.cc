@@ -1,27 +1,39 @@
-// Bulk GF(2^8) kernel vs. the per-byte log/exp baseline (google-benchmark).
+// GF(2^8) data-plane kernels: every implementation the host supports vs.
+// the per-byte log/exp baseline (google-benchmark).
 //
 // The IDA inner loop is dst[k] ^= coeff * src[k] over a whole block column.
 // The baseline pays two log-table lookups and an exp lookup per byte
-// (GF256::Mul); the bulk kernel (GFBulk::MulRowAccumulate) pays one lookup
-// into a precomputed 256-entry product row plus one XOR. The acceptance bar
-// for the data-plane rewire is >= 3x bytes/sec on the multiply-accumulate
-// kernel; run both BM_ variants at the same size to compare.
+// (GF256::Mul); the generic bulk kernel pays one lookup into a precomputed
+// 256-entry product row plus one XOR; the SIMD kernels (SSSE3/AVX2/NEON via
+// gf::Dispatch) multiply 16-32 bytes per nibble-shuffle pair. Benchmarks
+// are registered per supported implementation and sweep block sizes from
+// L1-resident (256 B) to streaming (1 MiB), one JSON line each, so the
+// trajectory shows both cache regimes.
+//
+// The fused-vs-unfused pair measures GFBulk::MatrixMulAccumulate against
+// the equivalent n * m independent MulRowAccumulate calls on the dispersal
+// geometry of the acceptance bar (n=8 outputs, m=5 inputs, 64 KiB blocks).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bench_gbench.h"
 #include "common/random.h"
 #include "gf/gf256.h"
-#include "gf/gf_bulk.h"
+#include "gf/gf_dispatch.h"
+#include "gf/gf_kernels.h"
+#include "gf/matrix.h"
 
 namespace {
 
 using bdisk::Rng;
+using bdisk::gf::Dispatch;
 using bdisk::gf::GF256;
-using bdisk::gf::GFBulk;
+using bdisk::gf::Matrix;
+using bdisk::gf::internal::KernelTable;
 
 std::vector<std::uint8_t> RandomBytes(std::size_t n) {
   Rng rng(n * 0x9E3779B97F4A7C15ULL + 3);
@@ -31,6 +43,9 @@ std::vector<std::uint8_t> RandomBytes(std::size_t n) {
 }
 
 constexpr std::uint8_t kCoeff = 0x8E;  // A generic non-trivial coefficient.
+
+// L1-resident through streaming block sizes.
+constexpr std::int64_t kBlockSizes[] = {256, 4096, 65536, 1 << 20};
 
 // Baseline: the seed's per-byte log/exp multiply-accumulate loop.
 void BM_PerByteLogExpAccumulate(benchmark::State& state) {
@@ -48,49 +63,132 @@ void BM_PerByteLogExpAccumulate(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_PerByteLogExpAccumulate)
-    ->Arg(1 << 10)
-    ->Arg(1 << 12)
-    ->Arg(1 << 14)
-    ->Arg(1 << 16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536)
     ->Arg(1 << 20);
 
-// The bulk table-driven kernel that now backs ida::Dispersal.
-void BM_BulkMulRowAccumulate(benchmark::State& state) {
+// One registered benchmark per (implementation, kernel); the implementation
+// name is part of the benchmark name, so every JSON line identifies its
+// datapoint (e.g. "BM_MulRowAccumulate<avx2>/65536:bytes_per_second").
+void RunMulRowAccumulate(benchmark::State& state, const KernelTable* k) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const auto src = RandomBytes(n);
   std::vector<std::uint8_t> dst(n, 0);
   for (auto _ : state) {
-    GFBulk::MulRowAccumulate(dst.data(), src.data(), kCoeff, n);
+    k->mul_row_accumulate(dst.data(), src.data(), kCoeff, n);
     benchmark::DoNotOptimize(dst.data());
     benchmark::ClobberMemory();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_BulkMulRowAccumulate)
-    ->Arg(1 << 10)
-    ->Arg(1 << 12)
-    ->Arg(1 << 14)
-    ->Arg(1 << 16)
-    ->Arg(1 << 20);
 
-// coeff == 1 degenerates to a word-wide XOR — the systematic-row fast path.
-void BM_BulkXorRow(benchmark::State& state) {
+void RunXorRow(benchmark::State& state, const KernelTable* k) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const auto src = RandomBytes(n);
   std::vector<std::uint8_t> dst(n, 0);
   for (auto _ : state) {
-    GFBulk::XorRow(dst.data(), src.data(), n);
+    k->xor_row(dst.data(), src.data(), n);
     benchmark::DoNotOptimize(dst.data());
     benchmark::ClobberMemory();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_BulkXorRow)->Arg(1 << 14)->Arg(1 << 20);
+
+// The acceptance-bar dispersal geometry: 8 output blocks over 5 inputs,
+// 64 KiB each, SystematicCauchy coefficients (3 identity-heavy rows would
+// understate the work, so all rows participate: 5 identity + 3 Cauchy).
+struct MatrixBenchData {
+  static constexpr std::size_t kNDst = 8;
+  static constexpr std::size_t kNSrc = 5;
+  static constexpr std::size_t kBlock = 64 * 1024;
+
+  MatrixBenchData()
+      : matrix(*Matrix::SystematicCauchy(kNDst, kNSrc)),
+        src_bytes(RandomBytes(kNSrc * kBlock)),
+        dst_bytes(kNDst * kBlock, 0) {
+    for (std::size_t j = 0; j < kNSrc; ++j) {
+      srcs.push_back(src_bytes.data() + j * kBlock);
+    }
+    for (std::size_t i = 0; i < kNDst; ++i) {
+      dsts.push_back(dst_bytes.data() + i * kBlock);
+      coeffs.push_back(matrix.RowData(i));
+    }
+  }
+
+  Matrix matrix;
+  std::vector<std::uint8_t> src_bytes;
+  std::vector<std::uint8_t> dst_bytes;
+  std::vector<const std::uint8_t*> srcs;
+  std::vector<std::uint8_t*> dsts;
+  std::vector<const std::uint8_t*> coeffs;
+};
+
+std::int64_t MatrixBytesPerIteration() {
+  // Useful traffic: each source read once, each destination written once.
+  return static_cast<std::int64_t>(
+      (MatrixBenchData::kNDst + MatrixBenchData::kNSrc) *
+      MatrixBenchData::kBlock);
+}
+
+void RunMatrixFused(benchmark::State& state, const KernelTable* k) {
+  MatrixBenchData d;
+  for (auto _ : state) {
+    k->matrix_mul_accumulate(d.dsts.data(), d.srcs.data(), d.coeffs.data(),
+                             MatrixBenchData::kNDst, MatrixBenchData::kNSrc,
+                             MatrixBenchData::kBlock);
+    benchmark::DoNotOptimize(d.dst_bytes.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          MatrixBytesPerIteration());
+}
+
+void RunMatrixUnfused(benchmark::State& state, const KernelTable* k) {
+  MatrixBenchData d;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < MatrixBenchData::kNDst; ++i) {
+      for (std::size_t j = 0; j < MatrixBenchData::kNSrc; ++j) {
+        k->mul_row_accumulate(d.dsts[i], d.srcs[j], d.coeffs[i][j],
+                              MatrixBenchData::kBlock);
+      }
+    }
+    benchmark::DoNotOptimize(d.dst_bytes.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          MatrixBytesPerIteration());
+}
+
+void RegisterPerImplementationBenchmarks() {
+  for (const KernelTable* k : Dispatch::Supported()) {
+    const std::string tag = std::string("<") + k->name + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_MulRowAccumulate" + tag).c_str(),
+        [k](benchmark::State& state) { RunMulRowAccumulate(state, k); })
+        ->Arg(kBlockSizes[0])
+        ->Arg(kBlockSizes[1])
+        ->Arg(kBlockSizes[2])
+        ->Arg(kBlockSizes[3]);
+    benchmark::RegisterBenchmark(
+        ("BM_XorRow" + tag).c_str(),
+        [k](benchmark::State& state) { RunXorRow(state, k); })
+        ->Arg(kBlockSizes[1])
+        ->Arg(kBlockSizes[3]);
+    benchmark::RegisterBenchmark(
+        ("BM_MatrixMulAccumulateFused" + tag).c_str(),
+        [k](benchmark::State& state) { RunMatrixFused(state, k); });
+    benchmark::RegisterBenchmark(
+        ("BM_MatrixMulAccumulateUnfused" + tag).c_str(),
+        [k](benchmark::State& state) { RunMatrixUnfused(state, k); });
+  }
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  RegisterPerImplementationBenchmarks();
   return benchutil::RunGoogleBenchmarks(argc, argv, "bench_gf_bulk");
 }

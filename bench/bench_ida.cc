@@ -8,10 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "bench_gbench.h"
 #include "common/random.h"
+#include "gf/gf_dispatch.h"
 #include "ida/dispersal.h"
 
 namespace {
@@ -145,5 +147,10 @@ BENCHMARK(BM_GaussJordanInversion)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return benchutil::RunGoogleBenchmarks(argc, argv, "bench_ida");
+  // The codec follows gf::Dispatch (BDISK_GF_IMPL overrides the CPU probe),
+  // so tag every metric with the implementation that actually ran — one
+  // trajectory file can then hold scalar and SIMD datapoints side by side.
+  const std::string prefix =
+      std::string(bdisk::gf::Dispatch::ActiveName()) + ":";
+  return benchutil::RunGoogleBenchmarks(argc, argv, "bench_ida", prefix);
 }

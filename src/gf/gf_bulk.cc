@@ -1,9 +1,16 @@
+/// \file gf_bulk.cc
+/// \brief Shared kernel tables, the portable "generic" implementation, and
+/// the dispatched GFBulk entry points.
+
 #include "gf/gf_bulk.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
 #include "gf/gf256.h"
+#include "gf/gf_dispatch.h"
+#include "gf/gf_kernels.h"
 
 namespace bdisk::gf {
 
@@ -29,14 +36,12 @@ const ProductTable& Products() {
   return kProducts;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Generic (portable scalar) kernels — the PR 1 table kernels, unchanged in
+// behavior; every other implementation must match them byte-for-byte.
+// ---------------------------------------------------------------------------
 
-const std::uint8_t* GFBulk::MulTable(std::uint8_t coeff) {
-  return Products().rows[coeff].data();
-}
-
-void GFBulk::XorRow(std::uint8_t* dst, const std::uint8_t* src,
-                    std::size_t n) {
+void GenericXorRow(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
   std::size_t i = 0;
   // Word-wide main loop; memcpy keeps it alias- and alignment-safe and
   // compiles to plain 64-bit loads/stores.
@@ -51,8 +56,8 @@ void GFBulk::XorRow(std::uint8_t* dst, const std::uint8_t* src,
   for (; i < n; ++i) dst[i] ^= src[i];
 }
 
-void GFBulk::MulRow(std::uint8_t* dst, const std::uint8_t* src,
-                    std::uint8_t coeff, std::size_t n) {
+void GenericMulRow(std::uint8_t* dst, const std::uint8_t* src,
+                   std::uint8_t coeff, std::size_t n) {
   if (coeff == 0) {
     std::memset(dst, 0, n);
     return;
@@ -61,7 +66,7 @@ void GFBulk::MulRow(std::uint8_t* dst, const std::uint8_t* src,
     if (dst != src) std::memmove(dst, src, n);
     return;
   }
-  const std::uint8_t* const table = MulTable(coeff);
+  const std::uint8_t* const table = Products().rows[coeff].data();
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     dst[i] = table[src[i]];
@@ -72,14 +77,14 @@ void GFBulk::MulRow(std::uint8_t* dst, const std::uint8_t* src,
   for (; i < n; ++i) dst[i] = table[src[i]];
 }
 
-void GFBulk::MulRowAccumulate(std::uint8_t* dst, const std::uint8_t* src,
-                              std::uint8_t coeff, std::size_t n) {
+void GenericMulRowAccumulate(std::uint8_t* dst, const std::uint8_t* src,
+                             std::uint8_t coeff, std::size_t n) {
   if (coeff == 0) return;
   if (coeff == 1) {
-    XorRow(dst, src, n);
+    GenericXorRow(dst, src, n);
     return;
   }
-  const std::uint8_t* const table = MulTable(coeff);
+  const std::uint8_t* const table = Products().rows[coeff].data();
   std::size_t i = 0;
   // Unrolled by 4: the four independent lookup/XOR chains pipeline well and
   // give the compiler room to keep table loads in flight.
@@ -90,6 +95,92 @@ void GFBulk::MulRowAccumulate(std::uint8_t* dst, const std::uint8_t* src,
     dst[i + 3] ^= table[src[i + 3]];
   }
   for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+void GenericMatrixMulAccumulate(std::uint8_t* const* dsts,
+                                const std::uint8_t* const* srcs,
+                                const std::uint8_t* const* coeffs,
+                                std::size_t n_dst, std::size_t n_src,
+                                std::size_t block_size) {
+  // Position tiling only: within a tile every source slice is touched once
+  // per destination, but the tile working set (n_src + 1 slices of at most
+  // kMatrixTileBytes) stays cache-resident, so only the first round streams
+  // from memory.
+  for (std::size_t pos = 0; pos < block_size;
+       pos += internal::kMatrixTileBytes) {
+    const std::size_t len =
+        std::min(internal::kMatrixTileBytes, block_size - pos);
+    for (std::size_t i = 0; i < n_dst; ++i) {
+      std::uint8_t* const dst = dsts[i] + pos;
+      const std::uint8_t* const row = coeffs[i];
+      for (std::size_t j = 0; j < n_src; ++j) {
+        GenericMulRowAccumulate(dst, srcs[j] + pos, row[j], len);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const NibbleTables& GetNibbleTables() {
+  static const NibbleTables kTables = [] {
+    NibbleTables t{};
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned x = 0; x < 16; ++x) {
+        t.lo[c][x] = GF256::Mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(x));
+        t.hi[c][x] = GF256::Mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(x << 4));
+      }
+    }
+    return t;
+  }();
+  return kTables;
+}
+
+const KernelTable* GenericKernels() {
+  static constexpr KernelTable kTable = {
+      "generic",        GenericXorRow,
+      GenericMulRow,    GenericMulRowAccumulate,
+      GenericMatrixMulAccumulate,
+  };
+  return &kTable;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Dispatched public entry points.
+// ---------------------------------------------------------------------------
+
+const std::uint8_t* GFBulk::MulTable(std::uint8_t coeff) {
+  return Products().rows[coeff].data();
+}
+
+void GFBulk::XorRow(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n) {
+  Dispatch::Active().xor_row(dst, src, n);
+}
+
+void GFBulk::MulRow(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t coeff, std::size_t n) {
+  Dispatch::Active().mul_row(dst, src, coeff, n);
+}
+
+void GFBulk::MulRowAccumulate(std::uint8_t* dst, const std::uint8_t* src,
+                              std::uint8_t coeff, std::size_t n) {
+  Dispatch::Active().mul_row_accumulate(dst, src, coeff, n);
+}
+
+void GFBulk::MatrixMulAccumulate(std::uint8_t* const* dsts,
+                                 const std::uint8_t* const* srcs,
+                                 const std::uint8_t* const* coeffs,
+                                 std::size_t n_dst, std::size_t n_src,
+                                 std::size_t block_size) {
+  Dispatch::Active().matrix_mul_accumulate(dsts, srcs, coeffs, n_dst, n_src,
+                                           block_size);
 }
 
 }  // namespace bdisk::gf

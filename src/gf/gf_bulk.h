@@ -6,15 +6,22 @@
 ///
 ///   dst[k] ^= coeff * src[k]   for every byte k of the block
 ///
-/// The scalar GF256::Mul path pays two table lookups and an add per byte
-/// (log/exp). These kernels instead precompute, once per process, the full
-/// 256 x 256 product table: row `c` is the 256-entry map x -> c*x. A bulk
-/// multiply-accumulate then costs one lookup and one XOR per byte, the rows
-/// stay resident in L1 (256 B each), and the coeff==0 / coeff==1 cases
-/// degenerate to a no-op / word-wide XOR respectively.
+/// These entry points route through gf::Dispatch to the fastest kernel
+/// implementation the CPU supports (gf/gf_dispatch.h): split low/high-nibble
+/// 16-entry tables driven by SSSE3 PSHUFB / AVX2 VPSHUFB / NEON TBL, which
+/// multiply 16–32 bytes per instruction pair, with the portable 256x256
+/// product-table kernel as the fallback. The coeff==0 / coeff==1 cases
+/// degenerate to a no-op / word-wide XOR on every path.
 ///
-/// GF256::MulSlow remains the reference oracle; tests assert these kernels
-/// agree with it on randomized inputs.
+/// The fused MatrixMulAccumulate is the codec hot loop: it computes all
+/// n_dst output blocks over the same n_src input blocks in one call, tiling
+/// the byte range so each source tile is read once per tile round instead of
+/// once per destination, and each destination chunk is read and written once
+/// per tile instead of once per source — O(n_dst + n_src) block traffic
+/// where the unfused loop pays O(n_dst * n_src).
+///
+/// GF256::MulSlow remains the reference oracle; tests assert every kernel
+/// implementation agrees with it byte-for-byte (tests/gf_simd_test.cc).
 
 #ifndef BDISK_GF_GF_BULK_H_
 #define BDISK_GF_GF_BULK_H_
@@ -24,17 +31,18 @@
 
 namespace bdisk::gf {
 
-/// \brief Table-driven bulk GF(2^8) kernels.
+/// \brief Dispatched bulk GF(2^8) kernels.
 ///
-/// All functions are static and thread-safe after first use (the product
-/// table is built on first access under the C++ static-initialization
-/// guarantee). Buffers may not overlap unless dst == src exactly.
+/// All functions are static and thread-safe after first use (tables and the
+/// dispatch selection are built on first access under the C++ static-
+/// initialization guarantee). Buffers may not overlap unless dst == src
+/// exactly.
 class GFBulk {
  public:
   /// The 256-entry product row for `coeff`: MulTable(c)[x] == c * x.
   static const std::uint8_t* MulTable(std::uint8_t coeff);
 
-  /// dst[i] ^= src[i] for i in [0, n). Word-wide XOR.
+  /// dst[i] ^= src[i] for i in [0, n). Word- or vector-wide XOR.
   static void XorRow(std::uint8_t* dst, const std::uint8_t* src,
                      std::size_t n);
 
@@ -44,10 +52,30 @@ class GFBulk {
 
   /// dst[i] ^= coeff * src[i] for i in [0, n) — the IDA inner loop.
   ///
-  /// coeff == 0 is a no-op; coeff == 1 is XorRow; otherwise one table
-  /// lookup and one XOR per byte.
+  /// coeff == 0 is a no-op; coeff == 1 is XorRow.
   static void MulRowAccumulate(std::uint8_t* dst, const std::uint8_t* src,
                                std::uint8_t coeff, std::size_t n);
+
+  /// \brief Fused matrix-block multiply-accumulate — the whole-codec loop.
+  ///
+  /// For every destination block i in [0, n_dst):
+  ///
+  ///   dsts[i][k] ^= XOR over j of coeffs[i][j] * srcs[j][k]
+  ///
+  /// for every byte k in [0, block_size). `coeffs[i]` points at the i-th
+  /// matrix row (n_src coefficients, e.g. Matrix::RowData). Destination
+  /// blocks must be distinct from each other and from every source block;
+  /// source blocks may repeat.
+  ///
+  /// Equivalent to n_dst * n_src MulRowAccumulate calls, but tiled so the
+  /// source working set stays cache-resident and each destination chunk is
+  /// loaded/stored once per tile, with the accumulator held in registers
+  /// across sources on the SIMD paths.
+  static void MatrixMulAccumulate(std::uint8_t* const* dsts,
+                                  const std::uint8_t* const* srcs,
+                                  const std::uint8_t* const* coeffs,
+                                  std::size_t n_dst, std::size_t n_src,
+                                  std::size_t block_size);
 };
 
 }  // namespace bdisk::gf

@@ -2,6 +2,9 @@
 /// \brief Dense matrices over GF(2^8), with the operations IDA needs:
 /// multiplication, Gaussian-elimination inversion, row selection, and
 /// Vandermonde / Cauchy constructions whose every m-row subset is invertible.
+///
+/// Row-wide elimination steps (Inverse, Rank) run on the dispatched bulk
+/// kernels (gf/gf_bulk.h), so they ride the same SIMD paths as the codec.
 
 #ifndef BDISK_GF_MATRIX_H_
 #define BDISK_GF_MATRIX_H_

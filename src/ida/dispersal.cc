@@ -1,9 +1,18 @@
 #include "ida/dispersal.h"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
 
 #include "common/check.h"
 #include "gf/gf_bulk.h"
+
+namespace {
+// Pointer-array capacity for the fused kernel calls: n <= 256 by geometry
+// (Dispersal::Create enforces it), so fixed stack arrays avoid per-stripe
+// heap allocation on the hot path.
+constexpr std::size_t kMaxBlocks = 256;
+}  // namespace
 
 namespace bdisk::ida {
 
@@ -53,16 +62,21 @@ void Dispersal::DisperseStripe(FileId file_id, const std::uint8_t* stripe,
     (*out)[i].header = BlockHeader{file_id, i, m_, n_, version};
     (*out)[i].payload.assign(block_size_, 0);
   }
-  // Dispersed block i, byte k = sum_j M[i][j] * stripe_block_j[k].
+  // Dispersed block i, byte k = sum_j M[i][j] * stripe_block_j[k] — one
+  // fused matrix-block product instead of n * m independent row passes, so
+  // each stripe block streams through cache once per tile (gf/gf_bulk.h).
+  std::array<std::uint8_t*, kMaxBlocks> dsts;
+  std::array<const std::uint8_t*, kMaxBlocks> srcs;
+  std::array<const std::uint8_t*, kMaxBlocks> rows;
   for (std::uint32_t i = 0; i < n_; ++i) {
-    const std::uint8_t* row = dispersal_matrix_.RowData(i);
-    std::uint8_t* dst = (*out)[i].payload.data();
-    for (std::uint32_t j = 0; j < m_; ++j) {
-      const std::uint8_t* src = stripe + static_cast<std::size_t>(j) *
-                                             block_size_;
-      gf::GFBulk::MulRowAccumulate(dst, src, row[j], block_size_);
-    }
+    dsts[i] = (*out)[i].payload.data();
+    rows[i] = dispersal_matrix_.RowData(i);
   }
+  for (std::uint32_t j = 0; j < m_; ++j) {
+    srcs[j] = stripe + static_cast<std::size_t>(j) * block_size_;
+  }
+  gf::GFBulk::MatrixMulAccumulate(dsts.data(), srcs.data(), rows.data(), n_,
+                                  m_, block_size_);
 }
 
 Result<std::vector<std::uint8_t>> Dispersal::Reconstruct(
@@ -128,9 +142,12 @@ Status Dispersal::ReconstructInto(const std::vector<Block>& blocks,
     sorted_blocks[i] = chosen[order[i]];
   }
 
+  // The cache is read-mostly after warmup (there are only C(n, m) subsets,
+  // and workloads revisit few of them), so hits take the lock shared and
+  // batch reconstruction no longer serializes here.
   const gf::Matrix* inverse = nullptr;
   {
-    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    std::shared_lock<std::shared_mutex> lock(inverse_cache_->mu);
     auto it = inverse_cache_->entries.find(sorted_rows);
     if (it != inverse_cache_->entries.end()) inverse = &it->second;
   }
@@ -146,22 +163,25 @@ Status Dispersal::ReconstructInto(const std::vector<Block>& blocks,
       return Status::Internal("Reconstruct: dispersal submatrix singular: " +
                               inv_result.status().message());
     }
-    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    std::unique_lock<std::shared_mutex> lock(inverse_cache_->mu);
     auto [pos, inserted] = inverse_cache_->entries.emplace(
         sorted_rows, std::move(inv_result).value());
     (void)inserted;
     inverse = &pos->second;
   }
 
-  // Original block j, byte k = sum_i Inv[j][i] * received_i[k].
+  // Original block j, byte k = sum_i Inv[j][i] * received_i[k] — fused
+  // across all m output blocks (gf/gf_bulk.h).
+  std::array<std::uint8_t*, kMaxBlocks> dsts;
+  std::array<const std::uint8_t*, kMaxBlocks> srcs;
+  std::array<const std::uint8_t*, kMaxBlocks> rows_ptrs;
   for (std::uint32_t j = 0; j < m_; ++j) {
-    std::uint8_t* block_dst = dst + static_cast<std::size_t>(j) * block_size_;
-    const std::uint8_t* inv_row = inverse->RowData(j);
-    for (std::uint32_t i = 0; i < m_; ++i) {
-      gf::GFBulk::MulRowAccumulate(block_dst, sorted_blocks[i]->payload.data(),
-                                   inv_row[i], block_size_);
-    }
+    dsts[j] = dst + static_cast<std::size_t>(j) * block_size_;
+    rows_ptrs[j] = inverse->RowData(j);
+    srcs[j] = sorted_blocks[j]->payload.data();
   }
+  gf::GFBulk::MatrixMulAccumulate(dsts.data(), srcs.data(), rows_ptrs.data(),
+                                  m_, m_, block_size_);
   return Status::OK();
 }
 

@@ -14,9 +14,11 @@
 /// convenient for incremental reads and matches the paper's Figure 6 example
 /// (blocks A'_1..A'_10 where any 5 reconstruct A).
 ///
-/// The per-byte matrix product runs on the bulk GF(2^8) kernels
-/// (gf/gf_bulk.h): one table lookup + one XOR per byte, with the systematic
-/// identity rows lowered to word-wide copies/XORs.
+/// The per-byte matrix product runs as one fused matrix-block kernel call
+/// (GFBulk::MatrixMulAccumulate, gf/gf_bulk.h), dispatched at runtime to
+/// the fastest GF(2^8) implementation the CPU supports (SSSE3/AVX2/NEON
+/// nibble-table shuffles, or the portable product-table fallback), with the
+/// systematic identity rows lowered to vector-wide XOR/skip.
 
 #ifndef BDISK_IDA_DISPERSAL_H_
 #define BDISK_IDA_DISPERSAL_H_
@@ -24,8 +26,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -103,17 +105,19 @@ class Dispersal {
 
   /// Number of distinct inverse matrices cached so far.
   std::size_t cached_inverse_count() const {
-    std::lock_guard<std::mutex> lock(inverse_cache_->mu);
+    std::shared_lock<std::shared_mutex> lock(inverse_cache_->mu);
     return inverse_cache_->entries.size();
   }
 
  private:
   // Cache of inverse reconstruction matrices keyed by sorted row subset.
-  // Heap-allocated so the engine stays movable despite the mutex; entries
-  // are never erased, so pointers into the map remain valid while other
-  // threads insert.
+  // Read-mostly after warmup, so lookups take the lock shared and only
+  // inserts take it exclusive — concurrent batch reconstruction does not
+  // serialize on cache hits. Heap-allocated so the engine stays movable
+  // despite the mutex; entries are never erased, so pointers into the map
+  // remain valid while other threads insert.
   struct InverseCache {
-    std::mutex mu;
+    mutable std::shared_mutex mu;
     std::map<std::vector<std::size_t>, gf::Matrix> entries;
   };
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Captures the perf-trajectory seed point: runs the JSON-emitting data-plane
+# benches and writes their machine-readable lines to BENCH_<shortsha>.json
+# at the repo root, where <shortsha> is the current HEAD (when run before
+# committing, the datapoint is attributed to the parent of the commit that
+# ships it; the "commit" field inside each line carries the configure-time
+# SHA the binaries were built from).
+#
+# Usage: tools/bench_capture.sh [build_dir]    (default: <repo>/build)
+#
+# bench_gf_bulk registers one benchmark per GF implementation the host
+# supports (generic is always included), so a single run covers the whole
+# scalar-vs-SIMD spread. bench_ida follows the dispatched implementation,
+# so it runs twice: once pinned to the generic kernels via BDISK_GF_IMPL
+# and once on the probed best; its metric names carry the implementation
+# prefix, so the lines coexist in one file.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+sha="$(git -C "$root" rev-parse --short HEAD)"
+out="$root/BENCH_${sha}.json"
+
+for bench in bench_gf_bulk bench_ida; do
+  if [[ ! -x "$build/$bench" ]]; then
+    echo "error: $build/$bench not built (configure with benchmarks on)" >&2
+    exit 1
+  fi
+done
+
+: > "$out"
+
+capture() {
+  echo "== $*" >&2
+  # pipefail makes a failing bench (or a bench that emits no JSON line)
+  # fail the capture instead of writing a silently truncated trajectory.
+  "$@" | grep '^{"bench"' >> "$out"
+}
+
+capture "$build/bench_gf_bulk"
+BDISK_GF_IMPL=generic capture "$build/bench_ida"
+
+# Second bench_ida run on the probed-best implementation, shielded from any
+# BDISK_GF_IMPL in the caller's environment. Skipped when the probe's best
+# IS generic (pre-SSSE3 hosts) — its datapoints would duplicate the pinned
+# run's metrics with conflicting values.
+best_lines="$(mktemp)"
+trap 'rm -f "$best_lines"' EXIT
+echo "== $build/bench_ida (probed best)" >&2
+env -u BDISK_GF_IMPL "$build/bench_ida" | grep '^{"bench"' > "$best_lines"
+if grep -q '"metric":"generic:' "$best_lines"; then
+  echo "   probed best is generic; skipping duplicate datapoints" >&2
+else
+  cat "$best_lines" >> "$out"
+fi
+
+echo "wrote $(grep -c . "$out") datapoints to $out" >&2
