@@ -100,7 +100,8 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
     const AdaptiveLoopOptions& options, double loss_probability,
     std::uint64_t fault_seed, runtime::ThreadPool* pool,
-    const broadcast::BroadcastProgram* initial) {
+    const broadcast::BroadcastProgram* initial,
+    const faults::ChannelModel* channel) {
   if (interval_slots == 0) {
     return Status::InvalidArgument(
         "RunAdaptiveExperiment: interval_slots must be positive");
@@ -154,18 +155,26 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
   }
 
   // Replay the identical trace against both timelines over the same fault
-  // realization (one model, Reset() by each Simulator).
+  // realization: the caller's channel model when given (a pure trace, so
+  // both simulators see the identical realization by construction), else a
+  // Bernoulli model from loss_probability / fault_seed (one model, Reset()
+  // by each Simulator).
   const std::uint64_t tail =
       8 * std::max(baseline.DataCycleLength(),
                    controller.schedule().MaxDataCycleLength());
   const std::uint64_t horizon = workload.arrival_horizon + tail;
   sim::BernoulliFaultModel faults(loss_probability, fault_seed);
 
-  sim::Simulator static_sim(baseline, &faults, horizon);
+  sim::Simulator static_sim =
+      channel != nullptr ? sim::Simulator(baseline, *channel, horizon)
+                         : sim::Simulator(baseline, &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics static_metrics,
                          static_sim.RunRequests(requests, pool));
 
-  sim::Simulator adaptive_sim(controller.schedule(), &faults, horizon);
+  sim::Simulator adaptive_sim =
+      channel != nullptr
+          ? sim::Simulator(controller.schedule(), *channel, horizon)
+          : sim::Simulator(controller.schedule(), &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics adaptive_metrics,
                          adaptive_sim.RunRequests(requests, pool));
 

@@ -35,6 +35,7 @@
 #include "adaptive/program_optimizer.h"
 #include "bdisk/flat_builder.h"
 #include "common/status.h"
+#include "faults/channel_model.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
@@ -131,7 +132,10 @@ struct AdaptiveExperimentResult {
 /// \brief Runs the full experiment: walks the controller over
 /// `interval_slots`-sized windows of the trace, then replays the identical
 /// trace against both timelines over a fault realization drawn from
-/// `loss_probability` / `fault_seed`.
+/// `loss_probability` / `fault_seed` — or, when `channel` is non-null,
+/// over that channel model's counter-based trace (faults/channel_model.h),
+/// so the adaptive replay composes with the full fault-injection taxonomy
+/// (bursty loss, corruption, outages).
 ///
 /// `initial` (when non-null) is both the static baseline and the
 /// controller's starting program — e.g. the planner's pinwheel program for
@@ -143,7 +147,8 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
     const AdaptiveLoopOptions& options, double loss_probability,
     std::uint64_t fault_seed, runtime::ThreadPool* pool = nullptr,
-    const broadcast::BroadcastProgram* initial = nullptr);
+    const broadcast::BroadcastProgram* initial = nullptr,
+    const faults::ChannelModel* channel = nullptr);
 
 }  // namespace bdisk::adaptive
 

@@ -10,6 +10,7 @@
 #define BDISK_BDISK_H_
 
 // Foundations.
+#include "common/crc32c.h"    // IWYU pragma: export
 #include "common/random.h"    // IWYU pragma: export
 #include "common/stats.h"     // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
@@ -36,6 +37,10 @@
 #include "algebra/condition.h"  // IWYU pragma: export
 #include "algebra/optimizer.h"  // IWYU pragma: export
 #include "algebra/rules.h"      // IWYU pragma: export
+
+// Fault injection: erasure-channel models and the channel-spec grammar.
+#include "faults/channel_model.h"  // IWYU pragma: export
+#include "faults/channel_spec.h"   // IWYU pragma: export
 
 // Broadcast disks.
 #include "bdisk/bandwidth.h"        // IWYU pragma: export

@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace bdisk {
+namespace {
+
+// Reflected CRC-32C table, generated at static-init time from the
+// Castagnoli polynomial (reflected form 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace bdisk

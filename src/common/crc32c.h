@@ -1,0 +1,32 @@
+/// \file crc32c.h
+/// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) checksums.
+///
+/// Used to make broadcast blocks self-verifying: a client that receives a
+/// block over a corrupting channel recomputes the checksum and discards the
+/// block on mismatch. CRC-32C guarantees detection of any single error
+/// burst of at most 32 bits; longer random corruption escapes with
+/// probability 2^-32. The implementation is a portable table-driven one —
+/// stamping happens once per block at dispersal-store build time, off the
+/// GF(2^8) hot path, so hardware CRC instructions are not worth a dispatch
+/// layer here.
+
+#ifndef BDISK_COMMON_CRC32C_H_
+#define BDISK_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bdisk {
+
+/// \brief Extends a running CRC-32C with `len` bytes. Start with crc = 0.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t len);
+
+/// \brief CRC-32C of one buffer.
+inline std::uint32_t Crc32c(const void* data, std::size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace bdisk
+
+#endif  // BDISK_COMMON_CRC32C_H_

@@ -1,0 +1,47 @@
+/// \file channel_spec.h
+/// \brief Textual channel specifications: one grammar shared by the planner
+/// (`bdisk_planner --channel`), the scenario regression fixtures, and the
+/// benches, so a fault trace named anywhere names the same realization.
+///
+/// Grammar (whitespace-free):
+///
+///   spec    := model ( '+' model )*
+///   model   := name ( ':' kv ( ',' kv )* )?
+///   kv      := key '=' value
+///
+/// Models and their keys (all keys optional; defaults in parentheses):
+///
+///   lossless                        the fault-free channel
+///   bernoulli  p (0.1), seed (1)    i.i.d. per-slot loss
+///   gilbert    pgb (0.01), pbg (0.25), lg (0), lb (1), seed (1)
+///                                   bursty two-state loss
+///   corrupt    p (0.05), seed (1)   i.i.d. per-slot byte corruption
+///   outage     period (0), start (0), len (0)
+///                                   deterministic outage windows
+///
+/// '+' composes models into a superposition (channel_model.h). Examples:
+///
+///   bernoulli:p=0.1,seed=7
+///   gilbert:pgb=0.02,pbg=0.2+corrupt:p=0.01
+///   outage:period=1024,start=512,len=64
+
+#ifndef BDISK_FAULTS_CHANNEL_SPEC_H_
+#define BDISK_FAULTS_CHANNEL_SPEC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "faults/channel_model.h"
+
+namespace bdisk::faults {
+
+/// \brief Parses a channel spec. Fails with InvalidArgument naming the
+/// offending token on an unknown model, unknown key, malformed value, or
+/// out-of-range probability.
+Result<std::unique_ptr<ChannelModel>> ParseChannelSpec(
+    const std::string& spec);
+
+}  // namespace bdisk::faults
+
+#endif  // BDISK_FAULTS_CHANNEL_SPEC_H_

@@ -1,8 +1,72 @@
 #include "ida/block.h"
 
+#include <array>
 #include <sstream>
 
+#include "common/crc32c.h"
+
 namespace bdisk::ida {
+
+namespace {
+
+// Little-endian (de)serialization of an integer at `*pos`, so the layout
+// is independent of host endianness and struct padding.
+template <typename T>
+void PutLE(std::array<std::uint8_t, kBlockIdentityBytes>* out,
+           std::size_t* pos, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    (*out)[(*pos)++] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+template <typename T>
+void GetLE(const std::array<std::uint8_t, kBlockIdentityBytes>& in,
+           std::size_t* pos, T* value) {
+  *value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *value |= static_cast<T>(in[(*pos)++]) << (8 * i);
+  }
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kBlockIdentityBytes> SerializeIdentity(
+    const BlockHeader& header) {
+  std::array<std::uint8_t, kBlockIdentityBytes> out;
+  std::size_t pos = 0;
+  PutLE(&out, &pos, header.file_id);
+  PutLE(&out, &pos, header.block_index);
+  PutLE(&out, &pos, header.reconstruct_threshold);
+  PutLE(&out, &pos, header.total_blocks);
+  PutLE(&out, &pos, header.version);
+  return out;
+}
+
+void DeserializeIdentity(
+    const std::array<std::uint8_t, kBlockIdentityBytes>& bytes,
+    BlockHeader* header) {
+  std::size_t pos = 0;
+  GetLE(bytes, &pos, &header->file_id);
+  GetLE(bytes, &pos, &header->block_index);
+  GetLE(bytes, &pos, &header->reconstruct_threshold);
+  GetLE(bytes, &pos, &header->total_blocks);
+  GetLE(bytes, &pos, &header->version);
+}
+
+std::uint32_t BlockChecksum(const Block& block) {
+  const auto head = SerializeIdentity(block.header);
+  std::uint32_t crc = Crc32cExtend(0, head.data(), head.size());
+  crc = Crc32cExtend(crc, block.payload.data(), block.payload.size());
+  // 0 is reserved for "unstamped"; remap the (1-in-2^32) zero CRC.
+  return crc == 0 ? 1u : crc;
+}
+
+ChecksumState VerifyChecksum(const Block& block) {
+  if (block.header.checksum == 0) return ChecksumState::kUnstamped;
+  return block.header.checksum == BlockChecksum(block)
+             ? ChecksumState::kValid
+             : ChecksumState::kMismatch;
+}
 
 std::string BlockHeader::ToString() const {
   std::ostringstream oss;

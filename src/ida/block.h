@@ -12,6 +12,8 @@
 #ifndef BDISK_IDA_BLOCK_H_
 #define BDISK_IDA_BLOCK_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +40,13 @@ struct BlockHeader {
   /// different versions must never be combined during reconstruction: IDA's
   /// linear combination only inverts against one consistent snapshot.
   std::uint64_t version = 0;
+  /// Integrity checksum over the identity fields above plus the payload
+  /// (CRC-32C, normalized so 0 never occurs on a stamped block). 0 means
+  /// "unstamped" — blocks built by hand or by the raw codec carry no
+  /// checksum; the broadcast server stamps every block it transmits
+  /// (StampChecksum) so clients on corrupting channels can discard damaged
+  /// blocks instead of silently reconstructing wrong bytes.
+  std::uint32_t checksum = 0;
 
   bool operator==(const BlockHeader&) const = default;
 
@@ -52,6 +61,50 @@ struct Block {
 
   bool operator==(const Block&) const = default;
 };
+
+/// Serialized size of a header's identity fields (file_id, block_index,
+/// reconstruct_threshold, total_blocks, version — the stored checksum is
+/// not an identity field).
+inline constexpr std::size_t kBlockIdentityBytes = 24;
+
+/// \brief Canonical little-endian serialization of the header identity
+/// fields. This single layout defines (a) the checksum coverage beyond the
+/// payload and (b) the byte positions fault injectors may damage —
+/// SerializeIdentity/DeserializeIdentity round-trip, so corrupting "byte k
+/// of the identity" is well-defined without re-encoding the layout at
+/// every site.
+std::array<std::uint8_t, kBlockIdentityBytes> SerializeIdentity(
+    const BlockHeader& header);
+
+/// \brief Inverse of SerializeIdentity; leaves the checksum field alone.
+void DeserializeIdentity(
+    const std::array<std::uint8_t, kBlockIdentityBytes>& bytes,
+    BlockHeader* header);
+
+/// \brief The checksum a stamped `block` must carry: CRC-32C over the
+/// header identity fields (SerializeIdentity) and the payload, normalized
+/// to be non-zero so the value 0 stays reserved for "unstamped". The
+/// stored checksum field itself is excluded from the coverage.
+std::uint32_t BlockChecksum(const Block& block);
+
+/// \brief Stamps `block` with its checksum.
+inline void StampChecksum(Block* block) {
+  block->header.checksum = BlockChecksum(*block);
+}
+
+/// \brief Verdict of VerifyChecksum.
+enum class ChecksumState : std::uint8_t {
+  /// checksum == 0: the block was never stamped; nothing to verify.
+  kUnstamped,
+  /// Stamped and the recomputed checksum matches.
+  kValid,
+  /// Stamped but the contents do not match — the block is corrupt.
+  kMismatch,
+};
+
+/// \brief Recomputes and compares `block`'s checksum.
+ChecksumState VerifyChecksum(const Block& block);
+
 
 }  // namespace bdisk::ida
 

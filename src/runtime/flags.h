@@ -12,11 +12,26 @@
 #ifndef BDISK_RUNTIME_FLAGS_H_
 #define BDISK_RUNTIME_FLAGS_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
 namespace bdisk::runtime {
+
+/// \brief Strict decimal uint64 parse: the whole token, no sign, no
+/// whitespace, no overflow (ERANGE would otherwise silently saturate to
+/// ULLONG_MAX). The single parser behind UintFlag, the planner's value
+/// flags, and the channel-spec grammar.
+inline bool ParseUint64Token(const char* token, std::uint64_t* out) {
+  if (token == nullptr || token[0] < '0' || token[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(token, &end, 10);
+  if (end == token || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
 
 /// Largest accepted thread count — far above any real machine, low enough
 /// that a typo cannot wrap the unsigned conversion or exhaust the process
@@ -98,13 +113,11 @@ inline const char* FlagValueToken(int argc, char** argv, const char* name) {
 /// malformed (strtoull would silently wrap them).
 inline std::uint64_t UintFlag(int argc, char** argv, const char* name,
                               std::uint64_t fallback) {
-  const char* token = FlagValueToken(argc, argv, name);
-  if (token == nullptr) return fallback;
-  if (token[0] < '0' || token[0] > '9') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(token, &end, 10);
-  if (end == token || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+  std::uint64_t value = 0;
+  if (!ParseUint64Token(FlagValueToken(argc, argv, name), &value)) {
+    return fallback;
+  }
+  return value;
 }
 
 /// \brief Parses `--<name> X` / `--<name>=X` as a double; returns
@@ -116,6 +129,38 @@ inline double DoubleFlag(int argc, char** argv, const char* name,
   char* end = nullptr;
   const double value = std::strtod(token, &end);
   if (end == token || *end != '\0') return fallback;
+  return value;
+}
+
+/// \brief Value of `--<name> V` / `--<name>=V` as a string, removing the
+/// flag (and its value) from argv and updating *argc so the caller can
+/// treat the remaining arguments as positional; returns `fallback` when
+/// the flag is absent. A trailing `--<name>` with no value is left in
+/// place for the caller's own usage check.
+inline const char* ConsumeStringFlag(int* argc, char** argv, const char* name,
+                                     const char* fallback = nullptr) {
+  const char* value = fallback;
+  const std::size_t name_len = std::strlen(name);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const char* body = argv[i] + 2;
+      if (std::strncmp(body, name, name_len) == 0) {
+        if (body[name_len] == '\0' && i + 1 < *argc) {
+          value = argv[i + 1];
+          ++i;  // Flag plus value: drop both.
+          continue;
+        }
+        if (body[name_len] == '=') {
+          value = body + name_len + 1;
+          continue;
+        }
+      }
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;  // Preserve the argv[argc] == NULL guarantee.
   return value;
 }
 

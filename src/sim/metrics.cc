@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -39,19 +40,125 @@ double SimulationMetrics::OverallMaxLatency() const {
   return worst;
 }
 
+double SimulationMetrics::OverallMeanStall() const {
+  RunningStats all;
+  for (const FileMetrics& f : per_file) all.Merge(f.stall);
+  return all.mean();
+}
+
+double SimulationMetrics::OverallUndecodableRate() const {
+  std::uint64_t attempts = 0;
+  std::uint64_t incomplete = 0;
+  for (const FileMetrics& f : per_file) {
+    attempts += f.attempts();
+    incomplete += f.incomplete;
+  }
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(incomplete) / static_cast<double>(attempts);
+}
+
 std::string SimulationMetrics::ToString() const {
   std::ostringstream oss;
   oss << std::left << std::setw(20) << "file" << std::right << std::setw(10)
       << "attempts" << std::setw(12) << "mean_lat" << std::setw(10)
-      << "max_lat" << std::setw(11) << "miss_rate" << "\n";
+      << "max_lat" << std::setw(11) << "mean_stall" << std::setw(9)
+      << "undecod" << std::setw(11) << "miss_rate" << "\n";
   for (const FileMetrics& f : per_file) {
     oss << std::left << std::setw(20) << f.file_name << std::right
         << std::setw(10) << f.attempts() << std::setw(12) << std::fixed
         << std::setprecision(2) << f.latency.mean() << std::setw(10)
-        << std::setprecision(0) << f.latency.max() << std::setw(11)
+        << std::setprecision(0)
+        << (f.latency.count() > 0 ? f.latency.max() : 0.0) << std::setw(11)
+        << std::setprecision(2) << f.stall.mean() << std::setw(9)
+        << std::setprecision(4) << f.UndecodableRate() << std::setw(11)
         << std::setprecision(4) << f.MissRate() << "\n";
   }
   return oss.str();
+}
+
+namespace {
+
+/// %.17g keeps doubles lossless, so serializations are string-identical
+/// iff the metrics are bit-identical.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+/// Minimal JSON string escaping: file names are free-form spec tokens, so
+/// quotes, backslashes, and control bytes must not break the snapshot.
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendStats(std::string* out, const char* key,
+                 const RunningStats& stats) {
+  *out += "\"";
+  *out += key;
+  *out += "\":{\"count\":" + std::to_string(stats.count()) + ",\"sum\":";
+  AppendDouble(out, stats.sum());
+  *out += ",\"mean\":";
+  AppendDouble(out, stats.mean());
+  // min/max are +-inf on an empty accumulator, which JSON cannot carry.
+  *out += ",\"min\":";
+  AppendDouble(out, stats.count() > 0 ? stats.min() : 0.0);
+  *out += ",\"max\":";
+  AppendDouble(out, stats.count() > 0 ? stats.max() : 0.0);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsToJson(const SimulationMetrics& metrics) {
+  std::string out = "{\n  \"files\": [\n";
+  for (std::size_t i = 0; i < metrics.per_file.size(); ++i) {
+    const FileMetrics& f = metrics.per_file[i];
+    out += "    {\"name\":";
+    AppendJsonString(&out, f.file_name);
+    out += ",\"attempts\":" + std::to_string(f.attempts());
+    out += ",\"completed\":" + std::to_string(f.completed);
+    out += ",\"incomplete\":" + std::to_string(f.incomplete);
+    out += ",\"missed_deadline\":" + std::to_string(f.missed_deadline);
+    out += ",\"errors_observed\":" + std::to_string(f.errors_observed);
+    out += ",\"corrupt_detected\":" + std::to_string(f.corrupt_detected);
+    out += ",";
+    AppendStats(&out, "latency", f.latency);
+    out += ",";
+    AppendStats(&out, "stall", f.stall);
+    out += ",";
+    AppendStats(&out, "periods_to_recovery", f.periods_to_recovery);
+    out += i + 1 < metrics.per_file.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"overall\": {";
+  out += "\"attempts\":" + std::to_string(metrics.TotalAttempts());
+  out += ",\"miss_rate\":";
+  AppendDouble(&out, metrics.OverallMissRate());
+  out += ",\"mean_latency\":";
+  AppendDouble(&out, metrics.OverallMeanLatency());
+  out += ",\"max_latency\":";
+  AppendDouble(&out, metrics.OverallMaxLatency());
+  out += ",\"mean_stall\":";
+  AppendDouble(&out, metrics.OverallMeanStall());
+  out += ",\"undecodable_rate\":";
+  AppendDouble(&out, metrics.OverallUndecodableRate());
+  out += "}\n}\n";
+  return out;
 }
 
 void SimulationMetrics::Merge(const SimulationMetrics& other) {

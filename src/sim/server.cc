@@ -30,6 +30,11 @@ Result<BroadcastServer> BroadcastServer::Create(
       return blocks.status().WithContext("BroadcastServer: file '" + pf.name +
                                          "'");
     }
+    // Stamp integrity checksums once, at store-build time: every
+    // transmission is self-verifying, so clients on corrupting channels
+    // can discard damaged blocks (sim/client.h) instead of reconstructing
+    // wrong bytes.
+    for (ida::Block& b : *blocks) ida::StampChecksum(&b);
     server.engines_.push_back(std::move(engine));
     server.coded_.push_back(std::move(*blocks));
   }

@@ -9,27 +9,48 @@
 
 namespace bdisk::sim {
 
-Simulator::Simulator(const broadcast::BroadcastProgram& program,
-                     FaultModel* faults, std::uint64_t horizon)
-    : program_(&program) {
+namespace {
+
+// Materializes a legacy sequential fault model as a fault-effect trace
+// (Corrupts == the paper's "block unreadable", i.e. an erasure).
+std::vector<faults::FaultType> RealizeLegacy(FaultModel* faults,
+                                             std::uint64_t horizon) {
   BDISK_CHECK(faults != nullptr);
   faults->Reset();
-  corrupted_.resize(horizon);
+  std::vector<faults::FaultType> trace(horizon);
   for (std::uint64_t t = 0; t < horizon; ++t) {
-    corrupted_[t] = faults->Corrupts(t);
+    trace[t] = faults->Corrupts(t) ? faults::FaultType::kLost
+                                   : faults::FaultType::kNone;
   }
+  return trace;
 }
+
+std::vector<faults::FaultType> RealizeChannel(
+    const faults::ChannelModel& channel, std::uint64_t horizon) {
+  std::vector<faults::FaultType> trace(horizon);
+  channel.FillFaults(0, horizon, trace.data());
+  return trace;
+}
+
+}  // namespace
+
+Simulator::Simulator(const broadcast::BroadcastProgram& program,
+                     FaultModel* faults, std::uint64_t horizon)
+    : program_(&program), faults_(RealizeLegacy(faults, horizon)) {}
 
 Simulator::Simulator(const EpochSchedule& schedule, FaultModel* faults,
                      std::uint64_t horizon)
-    : schedule_(&schedule) {
-  BDISK_CHECK(faults != nullptr);
-  faults->Reset();
-  corrupted_.resize(horizon);
-  for (std::uint64_t t = 0; t < horizon; ++t) {
-    corrupted_[t] = faults->Corrupts(t);
-  }
-}
+    : schedule_(&schedule), faults_(RealizeLegacy(faults, horizon)) {}
+
+Simulator::Simulator(const broadcast::BroadcastProgram& program,
+                     const faults::ChannelModel& channel,
+                     std::uint64_t horizon)
+    : program_(&program), faults_(RealizeChannel(channel, horizon)) {}
+
+Simulator::Simulator(const EpochSchedule& schedule,
+                     const faults::ChannelModel& channel,
+                     std::uint64_t horizon)
+    : schedule_(&schedule), faults_(RealizeChannel(channel, horizon)) {}
 
 const std::vector<broadcast::ProgramFile>& Simulator::files() const {
   return schedule_ != nullptr ? schedule_->files() : program_->files();
@@ -52,7 +73,7 @@ Result<RetrievalOutcome> Simulator::Retrieve(
     return Status::InvalidArgument("Simulator: unknown file index " +
                                    std::to_string(request.file));
   }
-  if (request.start_slot >= corrupted_.size()) {
+  if (request.start_slot >= faults_.size()) {
     return Status::InvalidArgument("Simulator: start beyond horizon");
   }
   const broadcast::ProgramFile& pf = files()[request.file];
@@ -66,11 +87,15 @@ Result<RetrievalOutcome> Simulator::Retrieve(
   // Distinct-block tracker; n can exceed 64, so use a byte vector.
   std::vector<bool> have(pf.n, false);
   std::uint32_t distinct = 0;
-  for (std::uint64_t t = request.start_slot; t < corrupted_.size(); ++t) {
+  for (std::uint64_t t = request.start_slot; t < faults_.size(); ++t) {
     const auto tx = TxAt(t);
     if (!tx.has_value() || tx->file != request.file) continue;
-    if (corrupted_[t]) {
+    const faults::FaultType fault = faults_[t];
+    if (fault != faults::FaultType::kNone) {
+      // Lost, or corrupted-and-discarded after checksum detection: either
+      // way the client makes no progress on this transmission.
       ++outcome.errors_observed;
+      if (fault == faults::FaultType::kCorrupted) ++outcome.corrupt_detected;
       continue;
     }
     if (!have[tx->block_index]) {
@@ -89,7 +114,51 @@ Result<RetrievalOutcome> Simulator::Retrieve(
   } else if (!outcome.completed) {
     outcome.met_deadline = request.deadline_slots == 0;
   }
+  if (outcome.completed) {
+    const std::uint64_t period = PeriodAt(request.start_slot);
+    outcome.periods_to_recovery = (outcome.latency + period - 1) / period;
+    // Stall: slots the faults cost versus the lossless channel. A fault on
+    // the file's slots is a necessary condition for stall, so the baseline
+    // pass is skipped on the (common) clean-retrieval path.
+    if (outcome.errors_observed > 0) {
+      const auto baseline =
+          LosslessCompletionSlot(request.file, request.start_slot);
+      BDISK_CHECK(baseline.has_value());  // Completes by outcome's slot.
+      outcome.stall_slots = outcome.completion_slot - *baseline;
+    }
+  }
   return outcome;
+}
+
+std::optional<std::uint64_t> LosslessCompletionWalk(
+    const std::function<std::optional<broadcast::TransmissionRef>(
+        std::uint64_t)>& tx_at,
+    broadcast::FileIndex file, std::uint32_t m, std::uint32_t n,
+    std::uint64_t start, std::uint64_t end) {
+  std::vector<bool> have(n, false);
+  std::uint32_t distinct = 0;
+  for (std::uint64_t t = start; t < end; ++t) {
+    const auto tx = tx_at(t);
+    if (!tx.has_value() || tx->file != file) continue;
+    if (!have[tx->block_index]) {
+      have[tx->block_index] = true;
+      ++distinct;
+    }
+    if (distinct >= m) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Simulator::LosslessCompletionSlot(
+    broadcast::FileIndex file, std::uint64_t start) const {
+  const broadcast::ProgramFile& pf = files()[file];
+  return LosslessCompletionWalk([this](std::uint64_t t) { return TxAt(t); },
+                                file, pf.m, pf.n, start, faults_.size());
+}
+
+std::uint64_t Simulator::PeriodAt(std::uint64_t t) const {
+  if (schedule_ == nullptr) return program_->period();
+  return schedule_->epochs()[schedule_->EpochIndexAt(t)].program.period();
 }
 
 Result<RetrievalOutcome> Simulator::RetrieveTransaction(
@@ -108,6 +177,7 @@ Result<RetrievalOutcome> Simulator::RetrieveTransaction(
     single.model = request.model;
     BDISK_ASSIGN_OR_RETURN(RetrievalOutcome outcome, Retrieve(single));
     combined.errors_observed += outcome.errors_observed;
+    combined.corrupt_detected += outcome.corrupt_detected;
     if (!outcome.completed) {
       combined.completed = false;
     } else if (outcome.completion_slot > combined.completion_slot) {
@@ -118,6 +188,19 @@ Result<RetrievalOutcome> Simulator::RetrieveTransaction(
     combined.latency = combined.completion_slot - request.start_slot + 1;
     combined.met_deadline = request.deadline_slots == 0 ||
                             combined.latency <= request.deadline_slots;
+    const std::uint64_t period = PeriodAt(request.start_slot);
+    combined.periods_to_recovery = (combined.latency + period - 1) / period;
+    if (combined.errors_observed > 0) {
+      // Joint stall: against the lossless channel the transaction also
+      // completes when its slowest item does.
+      std::uint64_t baseline = 0;
+      for (broadcast::FileIndex f : request.files) {
+        const auto item = LosslessCompletionSlot(f, request.start_slot);
+        BDISK_CHECK(item.has_value());
+        baseline = std::max(baseline, *item);
+      }
+      combined.stall_slots = combined.completion_slot - baseline;
+    }
   } else {
     combined.completion_slot = 0;
     combined.met_deadline = request.deadline_slots == 0;
@@ -152,12 +235,12 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
     // artificially: a generous tail of several periods plus the deadline.
     const std::uint64_t tail =
         std::max<std::uint64_t>(deadline, 4 * MaxDataCycle());
-    if (corrupted_.size() <= tail) {
+    if (faults_.size() <= tail) {
       return Status::InvalidArgument(
           "Simulator: horizon too small for workload (need > " +
           std::to_string(tail) + " slots)");
     }
-    start_ranges[f] = corrupted_.size() - tail;
+    start_ranges[f] = faults_.size() - tail;
   }
 
   // One global request index g = f * requests_per_file + k drives both the
@@ -186,11 +269,15 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
           if (outcome->completed) {
             ++fm.completed;
             fm.latency.Add(static_cast<double>(outcome->latency));
+            fm.stall.Add(static_cast<double>(outcome->stall_slots));
+            fm.periods_to_recovery.Add(
+                static_cast<double>(outcome->periods_to_recovery));
             if (!outcome->met_deadline) ++fm.missed_deadline;
           } else {
             ++fm.incomplete;
           }
           fm.errors_observed += outcome->errors_observed;
+          fm.corrupt_detected += outcome->corrupt_detected;
         }
       });
 
@@ -223,12 +310,12 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
   }
   const std::uint64_t tail = std::max<std::uint64_t>(
       config.deadline_slots, 4 * MaxDataCycle());
-  if (corrupted_.size() <= tail) {
+  if (faults_.size() <= tail) {
     return Status::InvalidArgument(
         "Simulator: horizon too small for workload (need > " +
         std::to_string(tail) + " slots)");
   }
-  const std::uint64_t start_range = corrupted_.size() - tail;
+  const std::uint64_t start_range = faults_.size() - tail;
 
   const unsigned shards = runtime::ShardCountFor(pool, config.transactions);
   std::vector<TransactionMetrics> shard_metrics(shards);
@@ -251,11 +338,15 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
           if (outcome->completed) {
             ++local.completed;
             local.latency.Add(static_cast<double>(outcome->latency));
+            local.stall.Add(static_cast<double>(outcome->stall_slots));
+            local.periods_to_recovery.Add(
+                static_cast<double>(outcome->periods_to_recovery));
             if (!outcome->met_deadline) ++local.missed_deadline;
           } else {
             ++local.incomplete;
           }
           local.errors_observed += outcome->errors_observed;
+          local.corrupt_detected += outcome->corrupt_detected;
         }
       });
 
@@ -277,7 +368,7 @@ Result<SimulationMetrics> Simulator::RunRequests(
                                      " names unknown file index " +
                                      std::to_string(req.file));
     }
-    if (req.start_slot >= corrupted_.size()) {
+    if (req.start_slot >= faults_.size()) {
       return Status::InvalidArgument("RunRequests: request " +
                                      std::to_string(i) +
                                      " starts beyond the horizon");
@@ -304,11 +395,15 @@ Result<SimulationMetrics> Simulator::RunRequests(
           if (outcome->completed) {
             ++fm.completed;
             fm.latency.Add(static_cast<double>(outcome->latency));
+            fm.stall.Add(static_cast<double>(outcome->stall_slots));
+            fm.periods_to_recovery.Add(
+                static_cast<double>(outcome->periods_to_recovery));
             if (!outcome->met_deadline) ++fm.missed_deadline;
           } else {
             ++fm.incomplete;
           }
           fm.errors_observed += outcome->errors_observed;
+          fm.corrupt_detected += outcome->corrupt_detected;
         }
       });
 
@@ -323,8 +418,8 @@ Result<SimulationMetrics> Simulator::RunRequests(
 
 std::uint64_t Simulator::CorruptedSlotCount() const {
   std::uint64_t n = 0;
-  for (bool c : corrupted_) {
-    if (c) ++n;
+  for (faults::FaultType f : faults_) {
+    if (f != faults::FaultType::kNone) ++n;
   }
   return n;
 }

@@ -13,6 +13,7 @@
 #define BDISK_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "bdisk/program.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "faults/channel_model.h"
 #include "sim/epoch.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
@@ -51,8 +53,18 @@ struct RetrievalOutcome {
   std::uint64_t latency = 0;
   /// Deadline verdict (true when no deadline was set or it was met).
   bool met_deadline = true;
-  /// Corrupted transmissions of the requested file the client heard.
+  /// Faulty (lost or corrupted) transmissions of the requested file(s) the
+  /// client heard.
   std::uint32_t errors_observed = 0;
+  /// Corrupted-and-detected transmissions among errors_observed.
+  std::uint32_t corrupt_detected = 0;
+  /// Reconstruction stall: latency minus the latency this request would
+  /// have had on the lossless channel (valid when completed; 0 when no
+  /// fault touched the request).
+  std::uint64_t stall_slots = 0;
+  /// Broadcast periods spanned before recovery, ceil(latency / period) of
+  /// the program governing the start slot (valid when completed).
+  std::uint64_t periods_to_recovery = 0;
 };
 
 /// \brief Workload description: independent clients with random start slots.
@@ -102,6 +114,18 @@ struct TransactionWorkloadConfig {
   std::uint64_t seed = 42;
 };
 
+/// \brief Completion slot of a faultless distinct-block walk: from
+/// `start`, count distinct block indices of `file` among `tx_at(t)` for
+/// t in [start, end); returns the slot at which the m-th distinct index
+/// arrives (nullopt if it never does). This is the single definition of
+/// the stall-metric lossless baseline, shared by the index-level
+/// simulator and the byte-level retrieval session.
+std::optional<std::uint64_t> LosslessCompletionWalk(
+    const std::function<std::optional<broadcast::TransmissionRef>(
+        std::uint64_t)>& tx_at,
+    broadcast::FileIndex file, std::uint32_t m, std::uint32_t n,
+    std::uint64_t start, std::uint64_t end);
+
 /// \brief Block-index-level broadcast-disk simulator.
 class Simulator {
  public:
@@ -117,6 +141,17 @@ class Simulator {
   /// under different epochs remain mutually reconstructing.
   Simulator(const EpochSchedule& schedule, FaultModel* faults,
             std::uint64_t horizon);
+
+  /// Channel-model variants: the fault realization is the model's
+  /// counter-based trace over [0, horizon), so it is reproducible from the
+  /// channel's seed alone and identical at any shard or thread count. At
+  /// the block-index level a corrupted transmission behaves like a loss
+  /// (the byte-level client detects it by checksum and discards it) but is
+  /// additionally counted in RetrievalOutcome::corrupt_detected.
+  Simulator(const broadcast::BroadcastProgram& program,
+            const faults::ChannelModel& channel, std::uint64_t horizon);
+  Simulator(const EpochSchedule& schedule,
+            const faults::ChannelModel& channel, std::uint64_t horizon);
 
   /// Executes a single retrieval against the precomputed channel
   /// realization. Fails on an unknown file or a start beyond the horizon.
@@ -154,10 +189,11 @@ class Simulator {
       const std::vector<ClientRequest>& requests,
       runtime::ThreadPool* pool = nullptr) const;
 
-  /// Number of corrupted slots in the realization (diagnostics).
+  /// Number of faulty (lost or corrupted) slots in the realization
+  /// (diagnostics).
   std::uint64_t CorruptedSlotCount() const;
 
-  std::uint64_t horizon() const { return corrupted_.size(); }
+  std::uint64_t horizon() const { return faults_.size(); }
 
  private:
   /// Shared file table (epoch geometry is invariant, so epoch 0's in epoch
@@ -167,11 +203,19 @@ class Simulator {
   std::optional<broadcast::TransmissionRef> TxAt(std::uint64_t t) const;
   /// Largest data cycle (horizon-tail sizing).
   std::uint64_t MaxDataCycle() const;
+  /// Completion slot of a faultless retrieval of `file` from `start`
+  /// (nullopt when even the lossless channel cannot complete it within the
+  /// horizon) — the stall baseline.
+  std::optional<std::uint64_t> LosslessCompletionSlot(
+      broadcast::FileIndex file, std::uint64_t start) const;
+  /// Period of the program governing slot `t`.
+  std::uint64_t PeriodAt(std::uint64_t t) const;
 
   // Exactly one of the two is non-null.
   const broadcast::BroadcastProgram* program_ = nullptr;
   const EpochSchedule* schedule_ = nullptr;
-  std::vector<bool> corrupted_;  // One flag per slot of the realization.
+  // One fault effect per slot of the realization.
+  std::vector<faults::FaultType> faults_;
 };
 
 }  // namespace bdisk::sim

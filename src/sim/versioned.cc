@@ -65,6 +65,9 @@ Result<std::optional<ida::Block>> VersionedBroadcastServer::TransmissionAt(
         std::vector<ida::Block> blocks,
         engines_[tx->file].Disperse(static_cast<ida::FileId>(tx->file),
                                     ContentsOf(tx->file, version), version));
+    // Stamped once per (file, version) at dispersal time, like the static
+    // server's store.
+    for (ida::Block& b : blocks) ida::StampChecksum(&b);
     it = coded_.emplace(key, std::move(blocks)).first;
   }
   return std::optional<ida::Block>(it->second[tx->block_index]);

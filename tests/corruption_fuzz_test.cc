@@ -1,0 +1,167 @@
+// Corruption-detection fuzz: damage random bytes/lengths of received
+// blocks — payload, header identity fields, even the stored checksum — and
+// assert detection-or-correct-reconstruction: the client either rejects
+// every damaged block or the final bytes are identical to the original.
+// Silent wrong bytes are the one outcome that must never happen.
+//
+// The corpus is a committed list of deterministic seeds (ctest-registered,
+// so the same traces run on every platform and sanitizer job); each seed
+// drives geometry, contents, damage pattern, and interleaving.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "faults/channel_model.h"
+#include "ida/dispersal.h"
+#include "runtime/rng_stream.h"
+#include "sim/client.h"
+
+namespace bdisk::sim {
+namespace {
+
+// Seed corpus: the fixed entries pin historically interesting shapes
+// (minimal geometry, single-byte payloads, checksum-field damage); the
+// trailing range is bulk coverage.
+std::vector<std::uint64_t> SeedCorpus() {
+  std::vector<std::uint64_t> seeds = {0, 1, 7, 42, 0xFFFFFFFFu,
+                                      0x1234567890ABCDEFull};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    seeds.push_back(runtime::StreamSeed(0xF0221, i));
+  }
+  return seeds;
+}
+
+struct FuzzCase {
+  std::uint32_t m;
+  std::uint32_t n;
+  std::size_t block_size;
+  std::vector<std::uint8_t> contents;
+  std::vector<ida::Block> blocks;  // Stamped.
+};
+
+FuzzCase MakeCase(Rng* rng) {
+  FuzzCase c;
+  c.m = static_cast<std::uint32_t>(1 + rng->Uniform(8));
+  c.n = c.m + static_cast<std::uint32_t>(rng->Uniform(8));
+  c.block_size = 1 + rng->Uniform(64);
+  c.contents.resize(c.m * c.block_size);
+  for (auto& b : c.contents) {
+    b = static_cast<std::uint8_t>(rng->Uniform(256));
+  }
+  auto engine = ida::Dispersal::Create(c.m, c.n, c.block_size);
+  EXPECT_TRUE(engine.ok());
+  auto blocks = engine->Disperse(0, c.contents);
+  EXPECT_TRUE(blocks.ok());
+  c.blocks = *blocks;
+  for (ida::Block& b : c.blocks) ida::StampChecksum(&b);
+  return c;
+}
+
+// Raw fuzz damage: unlike CorruptionChannel (which never touches the
+// stored checksum), this may hit ANY byte — including the checksum field
+// itself — and damage runs of random length. Identity bytes are addressed
+// through the canonical ida::SerializeIdentity layout, so this stays in
+// lockstep with the checksum coverage by construction.
+void Damage(ida::Block* block, Rng* rng) {
+  const std::size_t payload = block->payload.size();
+  const std::size_t covered =
+      payload + ida::kBlockIdentityBytes + sizeof(std::uint32_t);
+  const std::size_t count = 1 + rng->Uniform(std::min<std::size_t>(
+                                    covered, 1 + rng->Uniform(16)));
+  auto identity = ida::SerializeIdentity(block->header);
+  for (std::size_t hit = 0; hit < count; ++hit) {
+    const std::size_t pos = rng->Uniform(covered);
+    const auto delta = static_cast<std::uint8_t>(1 + rng->Uniform(255));
+    if (pos < payload) {
+      block->payload[pos] ^= delta;
+    } else if (pos < payload + ida::kBlockIdentityBytes) {
+      identity[pos - payload] ^= delta;
+    } else {
+      const std::size_t h = pos - payload - ida::kBlockIdentityBytes;
+      block->header.checksum ^= static_cast<std::uint32_t>(delta) << (8 * h);
+    }
+  }
+  ida::DeserializeIdentity(identity, &block->header);
+}
+
+// Core property: offer a shuffled interleaving of clean and damaged
+// blocks; if the client completes, the bytes must be the original ones.
+TEST(CorruptionFuzzTest, DetectionOrCorrectReconstruction) {
+  for (const std::uint64_t seed : SeedCorpus()) {
+    Rng rng(seed);
+    const FuzzCase c = MakeCase(&rng);
+
+    // Damaged copies of a random subset; clean copies of everything (so
+    // completion is always possible and "reject all damaged" is testable).
+    std::vector<ida::Block> offers;
+    for (const ida::Block& b : c.blocks) offers.push_back(b);
+    const std::size_t damaged_count = 1 + rng.Uniform(2 * c.n);
+    for (std::size_t d = 0; d < damaged_count; ++d) {
+      ida::Block copy = c.blocks[rng.Uniform(c.n)];
+      Damage(&copy, &rng);
+      if (copy == c.blocks[copy.header.block_index % c.n]) continue;
+      offers.push_back(std::move(copy));
+    }
+    rng.Shuffle(&offers);
+
+    ReconstructingClient client(0, c.m, c.n, c.block_size);
+    client.set_require_checksums(true);
+    for (const ida::Block& b : offers) {
+      client.OfferEx(b);
+      if (client.CanReconstruct()) break;
+    }
+    ASSERT_TRUE(client.CanReconstruct()) << "seed " << seed;
+    auto data = client.Reconstruct();
+    ASSERT_TRUE(data.ok()) << "seed " << seed << ": " << data.status();
+    ASSERT_EQ(*data, c.contents) << "seed " << seed;
+  }
+}
+
+// Damaged-only offers: a client that sees nothing but corruption must
+// reject every block — zero distinct blocks, loud DataLoss on
+// Reconstruct, never a fabricated file.
+TEST(CorruptionFuzzTest, PureCorruptionNeverDecodes) {
+  for (const std::uint64_t seed : SeedCorpus()) {
+    Rng rng(seed ^ 0xBAD);
+    const FuzzCase c = MakeCase(&rng);
+    ReconstructingClient client(0, c.m, c.n, c.block_size);
+    client.set_require_checksums(true);
+    for (std::uint64_t d = 0; d < 3 * c.n; ++d) {
+      ida::Block copy = c.blocks[rng.Uniform(c.n)];
+      Damage(&copy, &rng);
+      if (copy == c.blocks[copy.header.block_index % c.n]) continue;
+      const OfferOutcome outcome = client.OfferEx(copy);
+      ASSERT_FALSE(OfferSatisfied(outcome) ||
+                   outcome == OfferOutcome::kAccepted)
+          << "seed " << seed << " accepted a damaged block";
+    }
+    EXPECT_EQ(client.distinct_blocks(), 0u) << "seed " << seed;
+    EXPECT_TRUE(client.Reconstruct().status().IsDataLoss());
+  }
+}
+
+// The channel's own corruption path composes with the client the same
+// way: every CorruptBlock result is rejected.
+TEST(CorruptionFuzzTest, ChannelCorruptionAlwaysRejected) {
+  for (const std::uint64_t seed : SeedCorpus()) {
+    Rng rng(seed ^ 0xC0FFEE);
+    const FuzzCase c = MakeCase(&rng);
+    const faults::CorruptionChannel channel(1.0, seed);
+    ReconstructingClient client(0, c.m, c.n, c.block_size);
+    client.set_require_checksums(true);
+    for (std::uint64_t slot = 0; slot < 2 * c.n; ++slot) {
+      ida::Block copy = c.blocks[slot % c.n];
+      channel.CorruptBlock(slot, &copy);
+      const OfferOutcome outcome = client.OfferEx(copy);
+      ASSERT_FALSE(OfferSatisfied(outcome) ||
+                   outcome == OfferOutcome::kAccepted)
+          << "seed " << seed << " slot " << slot;
+    }
+    EXPECT_EQ(client.distinct_blocks(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bdisk::sim

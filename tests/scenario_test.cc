@@ -1,0 +1,208 @@
+// Deterministic scenario regression harness.
+//
+// Each fixture under tests/fixtures/ is a `<name>.scenario` file that
+// names a committed workload spec, a fault-trace (channel) specification,
+// and workload parameters. The harness replays the full pipeline — spec
+// parse, program build, channel realization, sharded workload simulation —
+// and compares the complete metric snapshot (sim::MetricsToJson) against
+// the committed `<name>.golden.json`, byte for byte. Because every stage
+// is deterministic (counter-based RNG streams, exact-merge statistics),
+// any diff is a real behavior change, at any thread count, on any machine.
+//
+// Regenerating goldens after an intentional change:
+//   UPDATE_GOLDENS=1 ./scenario_test          (writes into the source tree)
+//
+// Adding a scenario: drop a .scenario (+ spec if new) into tests/fixtures/
+// and run once with UPDATE_GOLDENS=1; the harness discovers fixtures by
+// globbing, so no code change is needed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdisk/block_size.h"
+#include "bdisk/pinwheel_builder.h"
+#include "bdisk/spec_parser.h"
+#include "faults/channel_spec.h"
+#include "pinwheel/composite_scheduler.h"
+#include "runtime/thread_pool.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+
+#ifndef BDISK_FIXTURES_DIR
+#error "BDISK_FIXTURES_DIR must be defined by the build (CMakeLists.txt)"
+#endif
+
+namespace bdisk::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string Strip(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// A parsed .scenario fixture: `key = value` lines, '#' comments.
+struct Scenario {
+  std::string name;
+  std::string spec_file;
+  std::string channel;
+  std::uint64_t horizon = 0;
+  std::uint64_t requests_per_file = 0;
+  std::uint64_t workload_seed = 0;
+
+  /// Empty iff the fixture is complete and well-formed.
+  std::string Problem() const {
+    if (spec_file.empty()) return "missing spec";
+    if (channel.empty()) return "missing channel";
+    if (horizon == 0) return "missing horizon";
+    if (requests_per_file == 0) return "missing requests_per_file";
+    return "";
+  }
+};
+
+Scenario ParseScenario(const fs::path& path) {
+  Scenario scenario;
+  scenario.name = path.stem().string();
+  std::istringstream in(ReadFileOrDie(path));
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Strip(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    EXPECT_NE(eq, std::string::npos) << path << ": bad line '" << line << "'";
+    if (eq == std::string::npos) continue;
+    const std::string key = Strip(line.substr(0, eq));
+    const std::string value = Strip(line.substr(eq + 1));
+    if (key == "spec") {
+      scenario.spec_file = value;
+    } else if (key == "channel") {
+      scenario.channel = value;
+    } else if (key == "horizon") {
+      scenario.horizon = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "requests_per_file") {
+      scenario.requests_per_file = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "workload_seed") {
+      scenario.workload_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      ADD_FAILURE() << path << ": unknown key '" << key << "'";
+    }
+  }
+  return scenario;
+}
+
+// The same spec-to-program pipeline the planner runs.
+broadcast::BroadcastProgram BuildProgram(const std::string& spec_text) {
+  auto spec = broadcast::ParseWorkloadSpec(spec_text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  pinwheel::CompositeScheduler scheduler;
+  if (spec->IsByteDomain()) {
+    std::vector<std::uint64_t> ladder;
+    if (spec->block_size != 0) ladder.push_back(spec->block_size);
+    auto choice = broadcast::ChooseLargestFeasibleBlockSize(
+        spec->byte_files, spec->channel_bytes_per_second, scheduler,
+        std::move(ladder));
+    EXPECT_TRUE(choice.ok()) << choice.status();
+    return choice->build.program;
+  }
+  auto result =
+      broadcast::BuildGeneralizedProgram(spec->generalized_files, scheduler);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result->program;
+}
+
+std::vector<std::string> DiscoverScenarioNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(BDISK_FIXTURES_DIR)) {
+    if (entry.path().extension() == ".scenario") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+class ScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioTest, ReplayMatchesGolden) {
+  const fs::path fixtures(BDISK_FIXTURES_DIR);
+  const Scenario scenario =
+      ParseScenario(fixtures / (GetParam() + ".scenario"));
+  ASSERT_EQ(scenario.Problem(), "") << GetParam();
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  const broadcast::BroadcastProgram program =
+      BuildProgram(ReadFileOrDie(fixtures / scenario.spec_file));
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  auto channel = faults::ParseChannelSpec(scenario.channel);
+  ASSERT_TRUE(channel.ok()) << channel.status();
+
+  const Simulator simulator(program, **channel, scenario.horizon);
+  WorkloadConfig config;
+  config.requests_per_file = scenario.requests_per_file;
+  config.seed = scenario.workload_seed;
+
+  auto serial = simulator.RunWorkload(config, nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const std::string snapshot = MetricsToJson(*serial);
+
+  // Thread-count invariance is part of the replay contract: the sharded
+  // run must be bit-identical before it is compared to the golden at all.
+  {
+    runtime::ThreadPool pool(3);
+    auto sharded = simulator.RunWorkload(config, &pool);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ASSERT_EQ(snapshot, MetricsToJson(*sharded))
+        << scenario.name << ": serial vs 3-thread metrics differ";
+  }
+
+  const fs::path golden_path = fixtures / (scenario.name + ".golden.json");
+  if (std::getenv("UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << snapshot;
+    std::printf("updated %s\n", golden_path.c_str());
+    return;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << golden_path
+      << " missing — run once with UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(snapshot, ReadFileOrDie(golden_path))
+      << scenario.name
+      << ": metric snapshot diverged from the committed golden. If the "
+         "change is intentional, regenerate with UPDATE_GOLDENS=1.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, ScenarioTest, ::testing::ValuesIn(DiscoverScenarioNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bdisk::sim

@@ -8,8 +8,9 @@
 // level.
 //
 // Usage:
-//   bdisk_planner [--threads N] [--adaptive] workload.spec
-//   bdisk_planner [--threads N] [--adaptive] - < workload.spec
+//   bdisk_planner [--threads N] [--adaptive] [--channel SPEC]
+//                 [--requests N] [--seed S] workload.spec
+//   bdisk_planner [...] - < workload.spec
 //
 // --threads N fans the per-file worst-case delay analysis (the exact
 // adversary computation, the planner's dominant cost on big specs) out
@@ -20,6 +21,16 @@
 // against the adaptive controller (src/adaptive/), printing the hot-swap
 // timeline and the static vs adaptive mean retrieval delay.
 //
+// --channel SPEC additionally replays a random-start retrieval workload
+// against the planned program over the given erasure channel (the grammar
+// of src/faults/channel_spec.h, e.g. bernoulli:p=0.1,seed=7 or
+// gilbert:pgb=0.02,pbg=0.2+corrupt:p=0.01), printing per-file latency,
+// reconstruction stall, and undecodable-rate metrics. --requests sets the
+// retrieval attempts per file (default 200), --seed the workload seed
+// (default 42); the channel's own seed lives in SPEC, and the whole replay
+// is deterministic. With --adaptive, the same channel also drives the
+// adaptive replay.
+//
 // Example byte-domain spec:
 //   channel 196608
 //   file nav     bytes=16384 latency=0.5 faults=1
@@ -29,7 +40,9 @@
 //   gfile incidents blocks=2 latencies=12,14,16
 //   gfile maps      blocks=8 latencies=150,170
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,16 +57,21 @@
 #include "bdisk/flat_builder.h"
 #include "bdisk/pinwheel_builder.h"
 #include "bdisk/spec_parser.h"
+#include "faults/channel_spec.h"
 #include "pinwheel/composite_scheduler.h"
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "sim/simulation.h"
 
 namespace {
 
 using namespace bdisk::broadcast;  // NOLINT
 
 bdisk::runtime::ThreadPool* g_pool = nullptr;
+const bdisk::faults::ChannelModel* g_channel = nullptr;
+std::uint64_t g_requests_per_file = 200;
+std::uint64_t g_workload_seed = 42;
 
 void PrintProgram(const BuildResult& result) {
   const BroadcastProgram& p = result.program;
@@ -106,6 +124,47 @@ void PrintProgram(const BuildResult& result) {
   }
 }
 
+using bdisk::runtime::ParseUint64Token;
+
+// --channel replay: a random-start retrieval workload against the planned
+// program over the parsed erasure channel, surfacing the
+// reliability/latency frontier of the chosen (n, m) redundancy.
+int ReplayChannel(const BroadcastProgram& planned) {
+  // Horizon: room for every per-file tail (deadline or four data cycles)
+  // plus a generous start range of 50 periods.
+  std::uint64_t tail = 4 * planned.DataCycleLength();
+  for (const ProgramFile& pf : planned.files()) {
+    if (!pf.latency_slots.empty()) {
+      tail = std::max(tail, pf.latency_slots.front());
+    }
+  }
+  const std::uint64_t horizon = tail + 50 * planned.period() + 1;
+
+  bdisk::sim::Simulator simulator(planned, *g_channel, horizon);
+  bdisk::sim::WorkloadConfig config;
+  config.requests_per_file = g_requests_per_file;
+  config.seed = g_workload_seed;
+  auto metrics = simulator.RunWorkload(config, g_pool);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "channel replay failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nchannel replay: %s over %llu slots (%llu faulty), "
+              "%llu requests/file, workload seed %llu\n",
+              g_channel->Describe().c_str(),
+              static_cast<unsigned long long>(horizon),
+              static_cast<unsigned long long>(simulator.CorruptedSlotCount()),
+              static_cast<unsigned long long>(g_requests_per_file),
+              static_cast<unsigned long long>(g_workload_seed));
+  std::printf("%s", metrics->ToString().c_str());
+  std::printf("overall: mean latency %.2f slots, mean stall %.2f slots, "
+              "undecodable rate %.4f, miss rate %.4f\n",
+              metrics->OverallMeanLatency(), metrics->OverallMeanStall(),
+              metrics->OverallUndecodableRate(), metrics->OverallMissRate());
+  return 0;
+}
+
 // --adaptive replay: a drifting-Zipf demand trace (ranking reverses
 // mid-run) against the planned program (static) and against the adaptive
 // controller re-optimizing over the same file population.
@@ -125,7 +184,7 @@ int ReplayAdaptive(const BroadcastProgram& planned) {
 
   auto replay = bdisk::adaptive::RunAdaptiveExperiment(
       population, workload, interval, {}, /*loss_probability=*/0.02,
-      /*fault_seed=*/99, g_pool, &planned);
+      /*fault_seed=*/99, g_pool, &planned, g_channel);
   if (!replay.ok()) {
     std::fprintf(stderr, "adaptive replay failed: %s\n",
                  replay.status().ToString().c_str());
@@ -182,6 +241,10 @@ int Plan(const std::string& text, bool adaptive) {
                 static_cast<unsigned long long>(
                     choice->bandwidth_blocks_per_second));
     PrintProgram(choice->build);
+    if (g_channel != nullptr) {
+      const int rc = ReplayChannel(choice->build.program);
+      if (rc != 0) return rc;
+    }
     return adaptive ? ReplayAdaptive(choice->build.program) : 0;
   }
 
@@ -194,6 +257,10 @@ int Plan(const std::string& text, bool adaptive) {
     return 1;
   }
   PrintProgram(*result);
+  if (g_channel != nullptr) {
+    const int rc = ReplayChannel(result->program);
+    if (rc != 0) return rc;
+  }
   return adaptive ? ReplayAdaptive(result->program) : 0;
 }
 
@@ -203,10 +270,42 @@ int main(int argc, char** argv) {
   const unsigned threads = bdisk::runtime::ConsumeThreadsFlag(&argc, argv);
   const bool adaptive =
       bdisk::runtime::ConsumeBoolFlag(&argc, argv, "adaptive");
+  const char* channel_spec =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "channel");
+  const char* requests_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "requests");
+  const char* seed_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "seed");
   if (argc != 2) {
     std::fprintf(stderr,
-                 "usage: %s [--threads N] [--adaptive] <spec-file | ->\n",
+                 "usage: %s [--threads N] [--adaptive] [--channel SPEC] "
+                 "[--requests N] [--seed S] <spec-file | ->\n",
                  argv[0]);
+    return 2;
+  }
+  std::unique_ptr<bdisk::faults::ChannelModel> channel;
+  if (channel_spec != nullptr) {
+    auto parsed = bdisk::faults::ParseChannelSpec(channel_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    channel = std::move(*parsed);
+    g_channel = channel.get();
+  }
+  if (requests_token != nullptr) {
+    if (!ParseUint64Token(requests_token, &g_requests_per_file) ||
+        g_requests_per_file == 0) {
+      std::fprintf(stderr, "error: --requests must be a positive integer, "
+                   "got '%s'\n", requests_token);
+      return 2;
+    }
+  }
+  if (seed_token != nullptr &&
+      !ParseUint64Token(seed_token, &g_workload_seed)) {
+    std::fprintf(stderr, "error: --seed must be a 64-bit non-negative "
+                 "integer, got '%s'\n", seed_token);
     return 2;
   }
   const char* spec_arg = argv[1];
