@@ -1,0 +1,195 @@
+// Fleet-scale event-engine bench: 1M clients over a 10k-slot trace on one
+// box, inside a 2 GB peak-RSS budget.
+//
+// The discrete-event engine (sim/event_engine.h) exists to make this run
+// routine: per-client state is ~tens of bytes and per-retrieval cost is
+// O(transmissions heard), so a million concurrent clients fit where the
+// slot-by-slot walk would thrash. The bench
+//
+//   * generates clients on demand — Zipf file choice + Poisson arrivals,
+//     both pure functions of the client index (no materialized request
+//     list), so the fleet itself costs no memory;
+//   * runs the evented fleet, reports events/sec, mean delay, and peak RSS
+//     (VmHWM from /proc/self/status), and FAILS (exit 1) if peak RSS
+//     exceeds 2 GB;
+//   * cross-checks the engine in-process on a small configuration:
+//     RunWorkloadEvented's MetricsToJson must equal RunWorkload's byte for
+//     byte before any number is reported.
+//
+// Flags: --clients N (1000000), --slots N (10000), --threads N (1),
+//        --seed N (42).
+//
+//   ./bench_fleet_scale --threads 4
+//   ./bench_fleet_scale --clients 100000        # CI smoke configuration
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdisk/flat_builder.h"
+#include "bench_util.h"
+#include "common/zipf.h"
+#include "faults/channel_spec.h"
+#include "runtime/rng_stream.h"
+#include "runtime/thread_pool.h"
+#include "sim/arrivals.h"
+#include "sim/event_engine.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace bdisk;             // NOLINT
+using namespace bdisk::broadcast;  // NOLINT
+using namespace bdisk::sim;        // NOLINT
+
+/// Peak resident set (VmHWM) in kB from /proc/self/status; 0 off-Linux.
+std::uint64_t PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// A 16-file AIDA program (8-of-16 dispersal, spread layout): period 128,
+// realistic block redundancy, and per-file occurrence lists long enough to
+// exercise the jump arithmetic.
+BroadcastProgram BuildFleetProgram() {
+  std::vector<FlatFileSpec> files;
+  for (int i = 0; i < 16; ++i) {
+    files.push_back({"F" + std::to_string(i), 8, 16, {}});
+  }
+  auto p = BuildFlatProgram(files, FlatLayout::kSpread);
+  if (!p.ok()) {
+    std::fprintf(stderr, "program build failed: %s\n",
+                 p.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *p;
+}
+
+/// Small-configuration byte-identity cross-check of the two engines,
+/// in-process: any drift disqualifies the numbers below.
+bool EnginesAgreeOnSmallConfig(runtime::ThreadPool* pool) {
+  const BroadcastProgram program = BuildFleetProgram();
+  auto channel = faults::ParseChannelSpec("bernoulli:p=0.05,seed=7");
+  if (!channel.ok()) return false;
+  const Simulator simulator(program, **channel, 4096);
+  WorkloadConfig config;
+  config.requests_per_file = 50;
+  config.seed = 1234;
+  auto slot = simulator.RunWorkload(config, nullptr);
+  auto event = simulator.RunWorkloadEvented(config, pool);
+  if (!slot.ok() || !event.ok()) return false;
+  return MetricsToJson(*slot) == MetricsToJson(*event);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned threads = benchutil::ThreadsFlag(argc, argv);
+  const std::uint64_t clients =
+      benchutil::UintFlag(argc, argv, "clients", 1000000);
+  const std::uint64_t slots = benchutil::UintFlag(argc, argv, "slots", 10000);
+  const std::uint64_t seed = benchutil::UintFlag(argc, argv, "seed", 42);
+
+  std::unique_ptr<runtime::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<runtime::ThreadPool>(threads);
+
+  if (!EnginesAgreeOnSmallConfig(pool.get())) {
+    std::fprintf(stderr,
+                 "FAIL: event engine diverged from the slot engine on the "
+                 "small cross-check configuration\n");
+    return 1;
+  }
+  std::printf("engine cross-check: event == slot (byte-identical)\n");
+
+  const BroadcastProgram program = BuildFleetProgram();
+  auto channel = faults::ParseChannelSpec("bernoulli:p=0.02,seed=5");
+  if (!channel.ok()) {
+    std::fprintf(stderr, "%s\n", channel.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<faults::FaultType> trace(slots);
+  (*channel)->FillFaults(0, slots, trace.data());
+  const EventEngine engine(program, trace);
+
+  // Clients: Zipf(0.95)-skewed file choice, Poisson arrivals over the
+  // window that leaves every client room to finish (tail = 8 periods).
+  const std::uint64_t tail = 8 * program.period();
+  if (slots <= tail) {
+    std::fprintf(stderr, "--slots must exceed %llu\n",
+                 static_cast<unsigned long long>(tail));
+    return 1;
+  }
+  const ZipfDistribution zipf(program.files().size(), 0.95);
+  const PoissonArrivals arrivals(slots - tail, seed);
+  const auto client_at = [&](std::uint64_t g) {
+    EventClient client;
+    client.file = static_cast<FileIndex>(
+        zipf.Sample(runtime::StreamRng(seed ^ 0x5a5a5a5aULL, g)
+                        .UniformDouble()));
+    client.start_slot = arrivals.ArrivalSlotOf(g);
+    return client;
+  };
+
+  std::printf("fleet: %llu clients, %llu slots, %u thread(s), %s\n",
+              static_cast<unsigned long long>(clients),
+              static_cast<unsigned long long>(slots), threads,
+              arrivals.Describe().c_str());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EventEngineStats stats;
+  const SimulationMetrics metrics =
+      engine.Run(clients, client_at, pool.get(), &stats);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+
+  const double events_per_sec =
+      seconds > 0.0 ? static_cast<double>(stats.events) / seconds : 0.0;
+  const double mean_delay = metrics.OverallMeanLatency();
+  const std::uint64_t peak_kb = PeakRssKb();
+  const double peak_mb = static_cast<double>(peak_kb) / 1024.0;
+
+  std::printf("events processed : %llu (%.2fM events/s)\n",
+              static_cast<unsigned long long>(stats.events),
+              events_per_sec / 1e6);
+  std::printf("wall time        : %.2f s\n", seconds);
+  std::printf("mean delay       : %.1f slots\n", mean_delay);
+  std::printf("undecodable rate : %.6f\n", metrics.OverallUndecodableRate());
+  std::printf("peak RSS         : %.1f MB\n", peak_mb);
+
+  benchutil::EmitJson("bench_fleet_scale", "events_per_sec", events_per_sec,
+                      threads);
+  benchutil::EmitJson("bench_fleet_scale", "clients",
+                      static_cast<double>(clients), threads);
+  benchutil::EmitJson("bench_fleet_scale", "mean_delay_slots", mean_delay,
+                      threads);
+  benchutil::EmitJson("bench_fleet_scale", "peak_rss_mb", peak_mb, threads);
+
+  // The budget that makes million-client fleets routine on one box.
+  constexpr double kBudgetMb = 2048.0;
+  if (peak_kb == 0) {
+    std::printf("peak RSS unavailable on this platform; budget not "
+                "enforced\n");
+  } else if (peak_mb >= kBudgetMb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MB >= %.0f MB budget\n",
+                 peak_mb, kBudgetMb);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

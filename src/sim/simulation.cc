@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
+#include "sim/event_engine.h"
 
 namespace bdisk::sim {
 
@@ -208,14 +209,12 @@ Result<RetrievalOutcome> Simulator::RetrieveTransaction(
   return combined;
 }
 
-Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
-                                                 runtime::ThreadPool* pool)
-    const {
+Status Simulator::ValidateWorkload(
+    const WorkloadConfig& config, std::vector<std::uint64_t>* deadlines,
+    std::vector<std::uint64_t>* start_ranges) const {
   const std::size_t file_count = files().size();
-  // Validate everything up front (per-file deadline and admissible start
-  // range) so shard workers cannot fail mid-flight.
-  std::vector<std::uint64_t> deadlines(file_count, 0);
-  std::vector<std::uint64_t> start_ranges(file_count, 0);
+  deadlines->assign(file_count, 0);
+  start_ranges->assign(file_count, 0);
   for (broadcast::FileIndex f = 0; f < file_count; ++f) {
     const broadcast::ProgramFile& pf = files()[f];
     if (config.model == broadcast::ClientModel::kFlat && pf.n != pf.m) {
@@ -229,7 +228,7 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
     } else if (!pf.latency_slots.empty()) {
       deadline = pf.latency_slots.front();
     }
-    deadlines[f] = deadline;
+    (*deadlines)[f] = deadline;
 
     // Leave room at the end of the horizon so retrievals are not cut off
     // artificially: a generous tail of several periods plus the deadline.
@@ -240,8 +239,20 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
           "Simulator: horizon too small for workload (need > " +
           std::to_string(tail) + " slots)");
     }
-    start_ranges[f] = faults_.size() - tail;
+    (*start_ranges)[f] = faults_.size() - tail;
   }
+  return Status::OK();
+}
+
+Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
+                                                 runtime::ThreadPool* pool)
+    const {
+  const std::size_t file_count = files().size();
+  // Validate everything up front (per-file deadline and admissible start
+  // range) so shard workers cannot fail mid-flight.
+  std::vector<std::uint64_t> deadlines;
+  std::vector<std::uint64_t> start_ranges;
+  BDISK_RETURN_NOT_OK(ValidateWorkload(config, &deadlines, &start_ranges));
 
   // One global request index g = f * requests_per_file + k drives both the
   // shard split and the RNG stream, so any shard count replays the exact
@@ -288,6 +299,33 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
   }
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
   return metrics;
+}
+
+Result<SimulationMetrics> Simulator::RunWorkloadEvented(
+    const WorkloadConfig& config, runtime::ThreadPool* pool) const {
+  // Identical validation, request generation, and sharding to RunWorkload:
+  // the two paths differ only in how each retrieval is walked, so the
+  // resulting metrics snapshots are byte-identical.
+  std::vector<std::uint64_t> deadlines;
+  std::vector<std::uint64_t> start_ranges;
+  BDISK_RETURN_NOT_OK(ValidateWorkload(config, &deadlines, &start_ranges));
+  const std::uint64_t total = files().size() * config.requests_per_file;
+  const auto client_at = [&](std::uint64_t g) {
+    const auto f =
+        static_cast<broadcast::FileIndex>(g / config.requests_per_file);
+    Rng rng = runtime::StreamRng(config.seed, g);
+    EventClient client;
+    client.file = f;
+    client.start_slot = rng.Uniform(start_ranges[f]);
+    client.deadline_slots = deadlines[f];
+    return client;
+  };
+  if (schedule_ != nullptr) {
+    const EventEngine engine(*schedule_, faults_);
+    return engine.Run(total, client_at, pool);
+  }
+  const EventEngine engine(*program_, faults_);
+  return engine.Run(total, client_at, pool);
 }
 
 Result<TransactionMetrics> Simulator::RunTransactionWorkload(

@@ -173,6 +173,16 @@ class Simulator {
                                         runtime::ThreadPool* pool =
                                             nullptr) const;
 
+  /// Discrete-event equivalent of RunWorkload (sim/event_engine.h): the
+  /// identical request generation (same counter-based per-request draws),
+  /// the identical validation, and a *byte-identical* SimulationMetrics
+  /// snapshot (MetricsToJson) at any thread count — but each retrieval
+  /// costs O(transmissions of its file heard) instead of O(slots spanned),
+  /// which is what scales the simulator to million-client fleets.
+  Result<SimulationMetrics> RunWorkloadEvented(const WorkloadConfig& config,
+                                               runtime::ThreadPool* pool =
+                                                   nullptr) const;
+
   /// Runs `config.transactions` random multi-item transactions and
   /// aggregates the outcomes. Same sharding and determinism contract as
   /// RunWorkload.
@@ -210,6 +220,12 @@ class Simulator {
       broadcast::FileIndex file, std::uint64_t start) const;
   /// Period of the program governing slot `t`.
   std::uint64_t PeriodAt(std::uint64_t t) const;
+  /// Shared up-front validation of RunWorkload / RunWorkloadEvented:
+  /// resolves the per-file deadline and admissible start range (identical
+  /// status messages on both paths, so the engines agree on errors too).
+  Status ValidateWorkload(const WorkloadConfig& config,
+                          std::vector<std::uint64_t>* deadlines,
+                          std::vector<std::uint64_t>* start_ranges) const;
 
   // Exactly one of the two is non-null.
   const broadcast::BroadcastProgram* program_ = nullptr;

@@ -15,24 +15,21 @@
 // Adding a scenario: drop a .scenario (+ spec if new) into tests/fixtures/
 // and run once with UPDATE_GOLDENS=1; the harness discovers fixtures by
 // globbing, so no code change is needed.
+//
+// The fixture parsing and spec-to-program helpers live in
+// tests/scenario_util.h, shared with engine_equivalence_test.cc (which
+// proves the discrete-event engine reproduces these same goldens).
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "bdisk/block_size.h"
-#include "bdisk/pinwheel_builder.h"
-#include "bdisk/spec_parser.h"
 #include "faults/channel_spec.h"
-#include "pinwheel/composite_scheduler.h"
 #include "runtime/thread_pool.h"
+#include "scenario_util.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 
@@ -44,103 +41,11 @@ namespace bdisk::sim {
 namespace {
 
 namespace fs = std::filesystem;
-
-std::string ReadFileOrDie(const fs::path& path) {
-  std::ifstream in(path);
-  EXPECT_TRUE(in.good()) << "cannot open " << path;
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
-}
-
-std::string Strip(const std::string& s) {
-  const std::size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  const std::size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-/// A parsed .scenario fixture: `key = value` lines, '#' comments.
-struct Scenario {
-  std::string name;
-  std::string spec_file;
-  std::string channel;
-  std::uint64_t horizon = 0;
-  std::uint64_t requests_per_file = 0;
-  std::uint64_t workload_seed = 0;
-
-  /// Empty iff the fixture is complete and well-formed.
-  std::string Problem() const {
-    if (spec_file.empty()) return "missing spec";
-    if (channel.empty()) return "missing channel";
-    if (horizon == 0) return "missing horizon";
-    if (requests_per_file == 0) return "missing requests_per_file";
-    return "";
-  }
-};
-
-Scenario ParseScenario(const fs::path& path) {
-  Scenario scenario;
-  scenario.name = path.stem().string();
-  std::istringstream in(ReadFileOrDie(path));
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    line = Strip(line);
-    if (line.empty()) continue;
-    const std::size_t eq = line.find('=');
-    EXPECT_NE(eq, std::string::npos) << path << ": bad line '" << line << "'";
-    if (eq == std::string::npos) continue;
-    const std::string key = Strip(line.substr(0, eq));
-    const std::string value = Strip(line.substr(eq + 1));
-    if (key == "spec") {
-      scenario.spec_file = value;
-    } else if (key == "channel") {
-      scenario.channel = value;
-    } else if (key == "horizon") {
-      scenario.horizon = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "requests_per_file") {
-      scenario.requests_per_file = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (key == "workload_seed") {
-      scenario.workload_seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else {
-      ADD_FAILURE() << path << ": unknown key '" << key << "'";
-    }
-  }
-  return scenario;
-}
-
-// The same spec-to-program pipeline the planner runs.
-broadcast::BroadcastProgram BuildProgram(const std::string& spec_text) {
-  auto spec = broadcast::ParseWorkloadSpec(spec_text);
-  EXPECT_TRUE(spec.ok()) << spec.status();
-  pinwheel::CompositeScheduler scheduler;
-  if (spec->IsByteDomain()) {
-    std::vector<std::uint64_t> ladder;
-    if (spec->block_size != 0) ladder.push_back(spec->block_size);
-    auto choice = broadcast::ChooseLargestFeasibleBlockSize(
-        spec->byte_files, spec->channel_bytes_per_second, scheduler,
-        std::move(ladder));
-    EXPECT_TRUE(choice.ok()) << choice.status();
-    return choice->build.program;
-  }
-  auto result =
-      broadcast::BuildGeneralizedProgram(spec->generalized_files, scheduler);
-  EXPECT_TRUE(result.ok()) << result.status();
-  return result->program;
-}
-
-std::vector<std::string> DiscoverScenarioNames() {
-  std::vector<std::string> names;
-  for (const auto& entry : fs::directory_iterator(BDISK_FIXTURES_DIR)) {
-    if (entry.path().extension() == ".scenario") {
-      names.push_back(entry.path().stem().string());
-    }
-  }
-  std::sort(names.begin(), names.end());
-  return names;
-}
+using scenario_util::BuildProgram;
+using scenario_util::DiscoverScenarioNames;
+using scenario_util::ParseScenario;
+using scenario_util::ReadFileOrDie;
+using scenario_util::Scenario;
 
 class ScenarioTest : public ::testing::TestWithParam<std::string> {};
 
@@ -195,13 +100,10 @@ TEST_P(ScenarioTest, ReplayMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Fixtures, ScenarioTest, ::testing::ValuesIn(DiscoverScenarioNames()),
+    Fixtures, ScenarioTest,
+    ::testing::ValuesIn(DiscoverScenarioNames(BDISK_FIXTURES_DIR)),
     [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
-      for (char& c : name) {
-        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
-      }
-      return name;
+      return scenario_util::ParamName(info.param);
     });
 
 }  // namespace

@@ -9,7 +9,8 @@
 //
 // Usage:
 //   bdisk_planner [--threads N] [--adaptive] [--channel SPEC]
-//                 [--requests N] [--seed S] workload.spec
+//                 [--engine slot|event] [--requests N] [--seed S]
+//                 workload.spec
 //   bdisk_planner [...] - < workload.spec
 //
 // --threads N fans the per-file worst-case delay analysis (the exact
@@ -30,6 +31,11 @@
 // (default 42); the channel's own seed lives in SPEC, and the whole replay
 // is deterministic. With --adaptive, the same channel also drives the
 // adaptive replay.
+//
+// --engine selects the simulation core for the channel replay: `slot` (the
+// default) walks every slot; `event` runs the discrete-event engine
+// (src/sim/event_engine.h), which produces byte-identical metrics but
+// scales to million-client fleets.
 //
 // Example byte-domain spec:
 //   channel 196608
@@ -72,6 +78,7 @@ bdisk::runtime::ThreadPool* g_pool = nullptr;
 const bdisk::faults::ChannelModel* g_channel = nullptr;
 std::uint64_t g_requests_per_file = 200;
 std::uint64_t g_workload_seed = 42;
+bool g_evented_engine = false;
 
 void PrintProgram(const BuildResult& result) {
   const BroadcastProgram& p = result.program;
@@ -144,14 +151,17 @@ int ReplayChannel(const BroadcastProgram& planned) {
   bdisk::sim::WorkloadConfig config;
   config.requests_per_file = g_requests_per_file;
   config.seed = g_workload_seed;
-  auto metrics = simulator.RunWorkload(config, g_pool);
+  auto metrics = g_evented_engine
+                     ? simulator.RunWorkloadEvented(config, g_pool)
+                     : simulator.RunWorkload(config, g_pool);
   if (!metrics.ok()) {
     std::fprintf(stderr, "channel replay failed: %s\n",
                  metrics.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nchannel replay: %s over %llu slots (%llu faulty), "
-              "%llu requests/file, workload seed %llu\n",
+  std::printf("\nchannel replay (%s engine): %s over %llu slots "
+              "(%llu faulty), %llu requests/file, workload seed %llu\n",
+              g_evented_engine ? "event" : "slot",
               g_channel->Describe().c_str(),
               static_cast<unsigned long long>(horizon),
               static_cast<unsigned long long>(simulator.CorruptedSlotCount()),
@@ -276,12 +286,24 @@ int main(int argc, char** argv) {
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "requests");
   const char* seed_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "seed");
+  const char* engine_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "engine");
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--adaptive] [--channel SPEC] "
-                 "[--requests N] [--seed S] <spec-file | ->\n",
+                 "[--engine slot|event] [--requests N] [--seed S] "
+                 "<spec-file | ->\n",
                  argv[0]);
     return 2;
+  }
+  if (engine_token != nullptr) {
+    if (std::string(engine_token) == "event") {
+      g_evented_engine = true;
+    } else if (std::string(engine_token) != "slot") {
+      std::fprintf(stderr, "error: --engine must be 'slot' or 'event', "
+                   "got '%s'\n", engine_token);
+      return 2;
+    }
   }
   std::unique_ptr<bdisk::faults::ChannelModel> channel;
   if (channel_spec != nullptr) {
