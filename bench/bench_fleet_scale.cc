@@ -14,25 +14,38 @@
 //     exceeds 2 GB;
 //   * cross-checks the engine in-process on a small configuration:
 //     RunWorkloadEvented's MetricsToJson must equal RunWorkload's byte for
-//     byte before any number is reported.
+//     byte before any number is reported;
+//   * asserts the ops plane's overhead budget: the fleet is run as three
+//     interleaved (snapshots-off, snapshots-on) pairs with an
+//     obs::Timeline at 1-slot granularity, and FAILS if the best
+//     snapshot-on time exceeds the best snapshot-off time by more than 1%
+//     (plus a 5 ms absolute floor so sub-second CI smoke configurations
+//     aren't gated on timer noise).
 //
 // Flags: --clients N (1000000), --slots N (10000), --threads N (1),
 //        --seed N (42).
 //
 //   ./bench_fleet_scale --threads 4
 //   ./bench_fleet_scale --clients 100000        # CI smoke configuration
+//
+// The BDISK_BENCH_SLEEP_MS env var injects a sleep into every timed run —
+// an intentional slowdown hook that CI's perf-gate self-test uses to prove
+// bench_compare actually trips on a regression.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bdisk/flat_builder.h"
 #include "bench_util.h"
 #include "common/zipf.h"
 #include "faults/channel_spec.h"
+#include "obs/snapshot.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
 #include "sim/arrivals.h"
@@ -149,14 +162,42 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(slots), threads,
               arrivals.Describe().c_str());
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // The perf-gate self-test hook: CI reruns the bench with this set to
+  // prove bench_compare trips on an induced slowdown.
+  std::uint64_t sleep_ms = 0;
+  if (const char* env = std::getenv("BDISK_BENCH_SLEEP_MS")) {
+    sleep_ms = std::strtoull(env, nullptr, 10);
+  }
+
   EventEngineStats stats;
-  const SimulationMetrics metrics =
-      engine.Run(clients, client_at, pool.get(), &stats);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
-          .count();
+  SimulationMetrics metrics;
+  const auto timed_run = [&](bdisk::obs::Timeline* timeline) {
+    const auto t0 = std::chrono::steady_clock::now();
+    metrics = engine.Run(clients, client_at, pool.get(), &stats, timeline);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+        .count();
+  };
+
+  // Three interleaved (snapshots-off, snapshots-on) pairs; min-of-runs on
+  // each side cancels scheduler noise. The snapshot timeline runs at the
+  // finest possible granularity (1 slot) — the worst case for recording
+  // cost — and each enabled run gets a fresh timeline, as a streamer
+  // would.
+  constexpr int kPairs = 3;
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const double off = timed_run(nullptr);
+    if (pair == 0 || off < best_off) best_off = off;
+    bdisk::obs::Timeline timeline(1, slots);
+    const double on = timed_run(&timeline);
+    if (pair == 0 || on < best_on) best_on = on;
+  }
+  const double seconds = best_off;
 
   const double events_per_sec =
       seconds > 0.0 ? static_cast<double>(stats.events) / seconds : 0.0;
@@ -164,10 +205,14 @@ int main(int argc, char** argv) {
   const std::uint64_t peak_kb = PeakRssKb();
   const double peak_mb = static_cast<double>(peak_kb) / 1024.0;
 
+  const double overhead_pct =
+      best_off > 0.0 ? 100.0 * (best_on - best_off) / best_off : 0.0;
   std::printf("events processed : %llu (%.2fM events/s)\n",
               static_cast<unsigned long long>(stats.events),
               events_per_sec / 1e6);
-  std::printf("wall time        : %.2f s\n", seconds);
+  std::printf("wall time        : %.2f s (best of %d; snapshots on: "
+              "%.2f s, %+.2f%%)\n",
+              seconds, kPairs, best_on, overhead_pct);
   std::printf("mean delay       : %.1f slots\n", mean_delay);
   std::printf("undecodable rate : %.6f\n", metrics.OverallUndecodableRate());
   std::printf("peak RSS         : %.1f MB\n", peak_mb);
@@ -178,7 +223,22 @@ int main(int argc, char** argv) {
                       static_cast<double>(clients), threads);
   benchutil::EmitJson("bench_fleet_scale", "mean_delay_slots", mean_delay,
                       threads);
+  benchutil::EmitJson("bench_fleet_scale", "undecodable_rate",
+                      metrics.OverallUndecodableRate(), threads);
   benchutil::EmitJson("bench_fleet_scale", "peak_rss_mb", peak_mb, threads);
+  benchutil::EmitJson("bench_fleet_scale", "snapshot_overhead_pct",
+                      overhead_pct, threads);
+
+  // The ops-plane budget: full snapshot recording at 1-slot granularity
+  // must cost < 1% wall clock (5 ms absolute floor for sub-second smoke
+  // configurations, where a single timer tick exceeds 1%).
+  if (best_on > best_off * 1.01 + 0.005) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot streaming overhead %.2f%% exceeds the 1%% "
+                 "budget (off %.3f s, on %.3f s)\n",
+                 overhead_pct, best_off, best_on);
+    return 1;
+  }
 
   // The budget that makes million-client fleets routine on one box.
   constexpr double kBudgetMb = 2048.0;

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
 #include "runtime/flags.h"
 
 // Injected by CMake (-DBDISK_BUILD_COMMIT="<short sha>"); "unknown" when
@@ -31,13 +32,25 @@ using bdisk::runtime::ThreadsFlag;
 using bdisk::runtime::UintFlag;
 
 /// Emits one JSON metric line: {"bench":...,"metric":...,"value":...,
-/// "threads":N,"commit":...}. `%.17g` keeps doubles lossless for
-/// trajectory diffing.
+/// "threads":N,"commit":...}. Built on the canonical obs::JsonWriter, so
+/// doubles stay %.17g-lossless for trajectory diffing and metric names
+/// with reserved characters are escaped instead of corrupting the line.
 inline void EmitJson(const char* bench, const char* metric, double value,
                      unsigned threads) {
-  std::printf("{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.17g,"
-              "\"threads\":%u,\"commit\":\"%s\"}\n",
-              bench, metric, value, threads, BDISK_BUILD_COMMIT);
+  bdisk::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(bench);
+  w.Key("metric");
+  w.String(metric);
+  w.Key("value");
+  w.Double(value);
+  w.Key("threads");
+  w.Uint(threads);
+  w.Key("commit");
+  w.String(BDISK_BUILD_COMMIT);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
 }
 
 }  // namespace benchutil

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/zipf.h"
+#include "obs/registry.h"
 #include "runtime/rng_stream.h"
 
 namespace bdisk::adaptive {
@@ -48,8 +49,12 @@ Result<bool> AdaptiveController::EndInterval(
   for (std::uint64_t c : counts) interval_total += c;
   estimator_.ObserveCounts(counts);
   estimator_.FoldInterval();
+  obs::GlobalRegistry().GetCounter("adaptive.intervals")->Add();
   if (interval_total < options_.min_interval_requests) return false;
 
+  // One timer per swap decision (optimize + evaluate + maybe schedule).
+  obs::ScopedPhaseTimer timer(obs::GlobalRegistry().GetHistogram(
+      "phase.swap_decision_us", obs::PhaseTimerBoundsUs()));
   const std::vector<double> demand = estimator_.Shares();
   BDISK_ASSIGN_OR_RETURN(OptimizedProgram candidate,
                          optimizer_.Optimize(demand, pool));
@@ -65,6 +70,7 @@ Result<bool> AdaptiveController::EndInterval(
                              std::move(candidate.program),
                              interval_end_slot));
   (void)swap_slot;
+  obs::GlobalRegistry().GetCounter("adaptive.swaps")->Add();
   return true;
 }
 
@@ -101,7 +107,8 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     const AdaptiveLoopOptions& options, double loss_probability,
     std::uint64_t fault_seed, runtime::ThreadPool* pool,
     const broadcast::BroadcastProgram* initial,
-    const faults::ChannelModel* channel) {
+    const faults::ChannelModel* channel,
+    std::uint64_t snapshot_interval_slots) {
   if (interval_slots == 0) {
     return Status::InvalidArgument(
         "RunAdaptiveExperiment: interval_slots must be positive");
@@ -165,23 +172,38 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
   const std::uint64_t horizon = workload.arrival_horizon + tail;
   sim::BernoulliFaultModel faults(loss_probability, fault_seed);
 
+  // The replay horizon is only known here, so the snapshot timelines are
+  // owned by the result rather than passed in by the caller.
+  std::unique_ptr<obs::Timeline> static_timeline;
+  std::unique_ptr<obs::Timeline> adaptive_timeline;
+  if (snapshot_interval_slots > 0) {
+    static_timeline = std::make_unique<obs::Timeline>(
+        snapshot_interval_slots, horizon);
+    adaptive_timeline = std::make_unique<obs::Timeline>(
+        snapshot_interval_slots, horizon);
+  }
+
   sim::Simulator static_sim =
       channel != nullptr ? sim::Simulator(baseline, *channel, horizon)
                          : sim::Simulator(baseline, &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics static_metrics,
-                         static_sim.RunRequests(requests, pool));
+                         static_sim.RunRequests(requests, pool,
+                                                static_timeline.get()));
 
   sim::Simulator adaptive_sim =
       channel != nullptr
           ? sim::Simulator(controller.schedule(), *channel, horizon)
           : sim::Simulator(controller.schedule(), &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics adaptive_metrics,
-                         adaptive_sim.RunRequests(requests, pool));
+                         adaptive_sim.RunRequests(requests, pool,
+                                                  adaptive_timeline.get()));
 
   return AdaptiveExperimentResult{std::move(static_metrics),
                                   std::move(adaptive_metrics),
                                   controller.swap_count(),
-                                  controller.schedule()};
+                                  controller.schedule(),
+                                  std::move(static_timeline),
+                                  std::move(adaptive_timeline)};
 }
 
 }  // namespace bdisk::adaptive

@@ -28,6 +28,7 @@
 #define BDISK_ADAPTIVE_ADAPTIVE_LOOP_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "adaptive/demand_estimator.h"
@@ -36,6 +37,7 @@
 #include "bdisk/flat_builder.h"
 #include "common/status.h"
 #include "faults/channel_model.h"
+#include "obs/snapshot.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
@@ -127,6 +129,12 @@ struct AdaptiveExperimentResult {
   std::size_t swaps = 0;
   /// The adaptive timeline (for inspection / further replay).
   sim::EpochSchedule schedule;
+  /// Snapshot timelines of the two replays (obs/snapshot.h), populated iff
+  /// the experiment was run with a nonzero snapshot interval. The replay
+  /// horizon is computed inside the experiment, so the timelines are built
+  /// here rather than passed in.
+  std::unique_ptr<obs::Timeline> static_timeline;
+  std::unique_ptr<obs::Timeline> adaptive_timeline;
 };
 
 /// \brief Runs the full experiment: walks the controller over
@@ -142,13 +150,17 @@ struct AdaptiveExperimentResult {
 /// `bdisk_planner --adaptive`. When null, the initial program is seeded
 /// from the optimizer under *pre-flip* demand, so the static baseline is
 /// well tuned for yesterday's traffic, not a strawman.
+/// A nonzero `snapshot_interval_slots` additionally records both replays
+/// into snapshot timelines (AdaptiveExperimentResult::*_timeline) at that
+/// sim-clock granularity, for streaming via obs::WriteSnapshotStream.
 Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     const std::vector<broadcast::FlatFileSpec>& files,
     const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
     const AdaptiveLoopOptions& options, double loss_probability,
     std::uint64_t fault_seed, runtime::ThreadPool* pool = nullptr,
     const broadcast::BroadcastProgram* initial = nullptr,
-    const faults::ChannelModel* channel = nullptr);
+    const faults::ChannelModel* channel = nullptr,
+    std::uint64_t snapshot_interval_slots = 0);
 
 }  // namespace bdisk::adaptive
 

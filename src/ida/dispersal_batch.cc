@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "ida/dispersal.h"
+#include "obs/registry.h"
 #include "runtime/parallel_for.h"
 
 namespace bdisk::ida {
@@ -26,6 +27,11 @@ Result<std::vector<std::vector<Block>>> Dispersal::DisperseBatch(
   }
   const std::size_t stripe_count = file.size() / stripe_bytes;
   std::vector<std::vector<Block>> out(stripe_count);
+  // Batch-granularity instrumentation: one timer around the whole fan-out,
+  // never inside the stripe loop.
+  obs::ScopedPhaseTimer timer(obs::GlobalRegistry().GetHistogram(
+      "phase.encode_us", obs::PhaseTimerBoundsUs()));
+  obs::GlobalRegistry().GetCounter("ida.encode_bytes")->Add(file.size());
   runtime::ParallelFor(
       pool, stripe_count, runtime::ShardCountFor(pool, stripe_count),
       [&](unsigned, runtime::ShardRange range) {
@@ -45,6 +51,9 @@ Result<std::vector<std::uint8_t>> Dispersal::ReconstructBatch(
   }
   const std::size_t stripe_bytes = static_cast<std::size_t>(m_) * block_size_;
   std::vector<std::uint8_t> file(stripes.size() * stripe_bytes, 0);
+  obs::ScopedPhaseTimer timer(obs::GlobalRegistry().GetHistogram(
+      "phase.decode_us", obs::PhaseTimerBoundsUs()));
+  obs::GlobalRegistry().GetCounter("ida.decode_bytes")->Add(file.size());
   const unsigned shards = runtime::ShardCountFor(pool, stripes.size());
   // Per-shard first failure, reported as the error of the lowest failing
   // shard so the (already rare) error path is stable for a given shard

@@ -1,0 +1,444 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace bdisk::obs {
+
+void AppendCanonicalDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+void AppendQuotedString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void JsonWriter::FlushPendingWhitespace() {
+  if (!pending_ws_.empty()) {
+    out_ += pending_ws_;
+    pending_ws_.clear();
+  }
+}
+
+void JsonWriter::BeginToken(bool is_key) {
+  if (after_key_) {
+    // Value completing a key: never comma-separated from its key.
+    BDISK_DCHECK(!is_key);
+    after_key_ = false;
+    FlushPendingWhitespace();
+    return;
+  }
+  if (!has_sibling_.empty() && has_sibling_.back()) out_ += ',';
+  FlushPendingWhitespace();
+  if (!has_sibling_.empty()) has_sibling_.back() = true;
+  if (is_key) after_key_ = true;
+}
+
+void JsonWriter::BeginContainer(char open) {
+  BeginToken(/*is_key=*/false);
+  out_ += open;
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndContainer(char close) {
+  BDISK_DCHECK(!has_sibling_.empty());
+  FlushPendingWhitespace();
+  out_ += close;
+  has_sibling_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view k) {
+  BeginToken(/*is_key=*/true);
+  AppendQuotedString(&out_, k);
+  out_ += ':';
+}
+
+void JsonWriter::String(std::string_view s) {
+  BeginToken(/*is_key=*/false);
+  AppendQuotedString(&out_, s);
+}
+
+void JsonWriter::Double(double v) {
+  BeginToken(/*is_key=*/false);
+  AppendCanonicalDouble(&out_, v);
+}
+
+void JsonWriter::Uint(std::uint64_t v) {
+  BeginToken(/*is_key=*/false);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Int(std::int64_t v) {
+  BeginToken(/*is_key=*/false);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Bool(bool v) {
+  BeginToken(/*is_key=*/false);
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeginToken(/*is_key=*/false);
+  out_ += "null";
+}
+
+void JsonWriter::Newline(std::string_view indent) {
+  pending_ws_ = "\n";
+  pending_ws_ += indent;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with byte-offset errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    BDISK_RETURN_NOT_OK(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  /// Matches the writer's worst case (metrics objects nest ~4 deep) with
+  /// a wide margin while keeping adversarial input from overflowing the
+  /// stack.
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f': return ParseKeyword(out);
+      case 'n': return ParseNull(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      BDISK_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      JsonValue value;
+      BDISK_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      BDISK_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseHex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\\'
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          BDISK_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("lone high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            BDISK_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "null") {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Integer part: one or more digits, no leading zero before a digit.
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void WriteValue(JsonWriter* w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: w->Null(); break;
+    case JsonValue::Kind::kBool: w->Bool(v.bool_value); break;
+    case JsonValue::Kind::kNumber: {
+      // Integral values that fit the native integer emitters reproduce
+      // Uint/Int output (no ".0"/exponent), keeping round trips canonical.
+      const double d = v.number;
+      if (d == std::floor(d) && std::isfinite(d)) {
+        if (d >= 0.0 && d <= 18446744073709549568.0) {  // < 2^64, exact
+          w->Uint(static_cast<std::uint64_t>(d));
+          break;
+        }
+        if (d < 0.0 && d >= -9223372036854775808.0) {
+          w->Int(static_cast<std::int64_t>(d));
+          break;
+        }
+      }
+      w->Double(d);
+      break;
+    }
+    case JsonValue::Kind::kString: w->String(v.string_value); break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& e : v.array) WriteValue(w, e);
+      w->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w->Key(key);
+        WriteValue(w, value);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string ToCanonicalJson(const JsonValue& value) {
+  JsonWriter w;
+  WriteValue(&w, value);
+  return w.Release();
+}
+
+}  // namespace bdisk::obs

@@ -1,0 +1,136 @@
+/// \file json.h
+/// \brief Canonical JSON writer and parser for the ops plane.
+///
+/// One writer replaces the hand-rolled JSON emission that used to be
+/// scattered across MetricsToJson, the bench JSON lines, and the
+/// google-benchmark reporter glue. Canonicalization rules:
+///
+///  * doubles are printed with %.17g — lossless, so two values serialize
+///    to the same bytes iff they are bit-identical (the property the
+///    scenario goldens and BENCH_*.json trajectory diffing rely on);
+///  * strings escape `"`, `\`, and control bytes (< 0x20) as \u00XX;
+///    everything else (including UTF-8 multibyte sequences) passes through
+///    verbatim;
+///  * the writer inserts structural commas itself; callers control
+///    layout whitespace explicitly (Newline), so byte-exact legacy formats
+///    (e.g. the committed scenario goldens) are reproducible.
+///
+/// The parser accepts standard JSON (RFC 8259: objects, arrays, strings
+/// with \uXXXX escapes incl. surrogate pairs, numbers, true/false/null)
+/// and preserves object key order, so writer -> parser -> writer round
+/// trips are byte-identical for canonical input. It exists for the tools
+/// that *read* the ops plane's output — bench_compare diffing BENCH_*.json
+/// trajectories and bdisk_top tailing snapshot streams — and for the
+/// round-trip tests that pin the writer's canonical form.
+
+#ifndef BDISK_OBS_JSON_H_
+#define BDISK_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bdisk::obs {
+
+/// \brief Appends the canonical %.17g rendering of `v` to `out` (the
+/// single definition of double canonicalization used everywhere).
+void AppendCanonicalDouble(std::string* out, double v);
+
+/// \brief Appends `s` as a quoted, escaped JSON string to `out`.
+void AppendQuotedString(std::string* out, std::string_view s);
+
+/// \brief Streaming JSON writer with automatic structural commas and
+/// caller-controlled layout whitespace.
+///
+/// Commas are emitted lazily: when a value (or key) begins and a sibling
+/// preceded it at the same nesting level, the writer first emits `,`, then
+/// any whitespace scheduled with Newline(), then the token. Closing
+/// brackets never take a comma but do flush scheduled whitespace — this
+/// ordering is exactly what the legacy hand-rolled formats produced, so
+/// ports stay byte-identical. With no Newline() calls the output is fully
+/// compact (the JSON-lines form used by snapshots and bench metrics).
+class JsonWriter {
+ public:
+  /// Structure.
+  void BeginObject() { BeginContainer('{'); }
+  void EndObject() { EndContainer('}'); }
+  void BeginArray() { BeginContainer('['); }
+  void EndArray() { EndContainer(']'); }
+
+  /// Object key: emits `"k":` (comma-separated from the previous member).
+  /// The next value attaches to this key without a comma.
+  void Key(std::string_view k);
+
+  /// Scalars.
+  void String(std::string_view s);
+  void Double(double v);
+  void Uint(std::uint64_t v);
+  void Int(std::int64_t v);
+  void Bool(bool v);
+  void Null();
+
+  /// Schedules `"\n" + indent` to be emitted immediately after the next
+  /// structural comma (or before the next token when no comma is due).
+  void Newline(std::string_view indent);
+
+  /// Raw bytes, bypassing comma/whitespace state entirely (layout-only
+  /// escape hatch, e.g. the single space after a top-level key).
+  void Raw(std::string_view bytes) { out_ += bytes; }
+
+  const std::string& str() const { return out_; }
+  std::string Release() { return std::move(out_); }
+
+ private:
+  void BeginContainer(char open);
+  void EndContainer(char close);
+  /// Emits the pending comma (if a sibling preceded) and scheduled
+  /// whitespace; called before every key and value token.
+  void BeginToken(bool is_key);
+  void FlushPendingWhitespace();
+
+  std::string out_;
+  /// One bool per open container: has a member/element been written?
+  std::vector<bool> has_sibling_;
+  /// The next value completes a key (no comma before it).
+  bool after_key_ = false;
+  std::string pending_ws_;
+};
+
+/// \brief Parsed JSON value: a tagged tree preserving object key order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Members in document order (duplicate keys preserved as-is).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// First member named `key`, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// \brief Parses one complete JSON document; trailing non-whitespace is an
+/// error. Errors carry the byte offset of the offending token.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Re-serializes a parsed value in the writer's compact canonical
+/// form (numbers via %.17g; integral numbers that fit uint64/int64 print
+/// without an exponent or decimal point, matching Uint/Int emission).
+std::string ToCanonicalJson(const JsonValue& value);
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_JSON_H_

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 
@@ -231,7 +233,9 @@ void EventShardRunner::Drain() {
   }
 }
 
-void EventShardRunner::Collect(SimulationMetrics* local) const {
+void EventShardRunner::Collect(SimulationMetrics* local,
+                               obs::Timeline* timeline) const {
+  if (timeline != nullptr) timeline->Reserve(states_.size());
   for (const ClientState& st : states_) {
     BDISK_DCHECK((st.flags & ClientState::kDone) != 0);
     FileMetrics& fm = local->per_file[st.file];
@@ -253,8 +257,16 @@ void EventShardRunner::Collect(SimulationMetrics* local) const {
       fm.stall.Add(static_cast<double>(stall));
       fm.periods_to_recovery.Add(static_cast<double>(periods));
       if (!met_deadline) ++fm.missed_deadline;
+      if (timeline != nullptr) {
+        timeline->RecordCompleted(st.completion_slot, latency, stall,
+                                  met_deadline, st.errors_observed,
+                                  st.corrupt_detected);
+      }
     } else {
       ++fm.incomplete;
+      if (timeline != nullptr) {
+        timeline->RecordIncomplete(st.errors_observed, st.corrupt_detected);
+      }
     }
     fm.errors_observed += st.errors_observed;
     fm.corrupt_detected += st.corrupt_detected;
@@ -264,19 +276,35 @@ void EventShardRunner::Collect(SimulationMetrics* local) const {
 SimulationMetrics EventEngine::Run(
     std::uint64_t count,
     const std::function<EventClient(std::uint64_t)>& client_at,
-    runtime::ThreadPool* pool, EventEngineStats* stats) const {
+    runtime::ThreadPool* pool, EventEngineStats* stats,
+    obs::Timeline* timeline) const {
   const std::size_t file_count = files().size();
   const unsigned shards = runtime::ShardCountFor(pool, count);
   std::vector<SimulationMetrics> shard_metrics(shards);
   std::vector<std::uint64_t> shard_events(shards, 0);
+  // Shard-local timelines: recording is non-atomic, merging is exact, so
+  // the stream stays deterministic at any shard count.
+  std::vector<obs::Timeline> shard_timelines;
+  if (timeline != nullptr) {
+    shard_timelines.assign(
+        shards, obs::Timeline(timeline->interval_slots(),
+                              timeline->horizon()));
+  }
+  obs::HistogramMetric* drain_us = obs::GlobalRegistry().GetHistogram(
+      "phase.event_drain_us", obs::PhaseTimerBoundsUs());
   runtime::ParallelFor(
       pool, count, shards, [&](unsigned shard, runtime::ShardRange range) {
         SimulationMetrics& local = shard_metrics[shard];
         local.per_file.resize(file_count);
         EventShardRunner runner(*this);
         runner.Prepare(range.begin, range.end, client_at);
-        runner.Drain();
-        runner.Collect(&local);
+        {
+          // One timer per shard drain — never per event.
+          obs::ScopedPhaseTimer timer(drain_us);
+          runner.Drain();
+        }
+        runner.Collect(&local, timeline != nullptr ? &shard_timelines[shard]
+                                                   : nullptr);
         shard_events[shard] = runner.events_processed();
       });
 
@@ -286,10 +314,16 @@ SimulationMetrics EventEngine::Run(
     metrics.per_file[f].file_name = files()[f].name;
   }
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
+  if (timeline != nullptr) {
+    for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
+  }
+  std::uint64_t total_events = 0;
+  for (const std::uint64_t e : shard_events) total_events += e;
+  obs::GlobalRegistry().GetCounter("sim.events")->Add(total_events);
+  obs::GlobalRegistry().GetCounter("sim.clients")->Add(count);
   if (stats != nullptr) {
     stats->clients = count;
-    stats->events = 0;
-    for (const std::uint64_t e : shard_events) stats->events += e;
+    stats->events = total_events;
   }
   return metrics;
 }

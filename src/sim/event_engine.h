@@ -49,6 +49,10 @@
 #include "sim/epoch.h"
 #include "sim/metrics.h"
 
+namespace bdisk::obs {
+class Timeline;
+}  // namespace bdisk::obs
+
 namespace bdisk::runtime {
 class ThreadPool;
 }  // namespace bdisk::runtime
@@ -172,12 +176,17 @@ class EventEngine {
   /// across `pool` (null = serial) with one event heap per shard; the
   /// result is bit-identical to the slot-by-slot engine and to any other
   /// thread count. Every client must name a known file and start before
-  /// the horizon (checked). Fills `stats` when non-null.
+  /// the horizon (checked). Fills `stats` when non-null. A non-null
+  /// `timeline` (geometry covering this horizon) additionally receives
+  /// every outcome bucketed by completion slot; per-shard timelines merge
+  /// exactly in shard order, so the snapshot stream inherits the same
+  /// bit-identical-at-any-thread-count contract as the metrics.
   SimulationMetrics Run(std::uint64_t count,
                         const std::function<EventClient(std::uint64_t)>&
                             client_at,
                         runtime::ThreadPool* pool = nullptr,
-                        EventEngineStats* stats = nullptr) const;
+                        EventEngineStats* stats = nullptr,
+                        obs::Timeline* timeline = nullptr) const;
 
  private:
   friend class EventShardRunner;
@@ -214,8 +223,10 @@ class EventShardRunner {
 
   /// Folds the finished clients' outcomes into `local` in ascending client
   /// order — the slot engine's exact accumulation order. `local->per_file`
-  /// must already be sized to the engine's file count.
-  void Collect(SimulationMetrics* local) const;
+  /// must already be sized to the engine's file count. A non-null
+  /// `timeline` receives each outcome bucketed by completion slot.
+  void Collect(SimulationMetrics* local,
+               obs::Timeline* timeline = nullptr) const;
 
   std::size_t client_count() const { return states_.size(); }
   const ClientState& state(std::size_t local_index) const {

@@ -1,11 +1,11 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/json.h"
 
 namespace bdisk::sim {
 
@@ -78,87 +78,82 @@ std::string SimulationMetrics::ToString() const {
 
 namespace {
 
-/// %.17g keeps doubles lossless, so serializations are string-identical
-/// iff the metrics are bit-identical.
-void AppendDouble(std::string* out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  *out += buf;
-}
-
-/// Minimal JSON string escaping: file names are free-form spec tokens, so
-/// quotes, backslashes, and control bytes must not break the snapshot.
-void AppendJsonString(std::string* out, const std::string& s) {
-  *out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
-}
-
-void AppendStats(std::string* out, const char* key,
-                 const RunningStats& stats) {
-  *out += "\"";
-  *out += key;
-  *out += "\":{\"count\":" + std::to_string(stats.count()) + ",\"sum\":";
-  AppendDouble(out, stats.sum());
-  *out += ",\"mean\":";
-  AppendDouble(out, stats.mean());
-  // min/max are +-inf on an empty accumulator, which JSON cannot carry.
-  *out += ",\"min\":";
-  AppendDouble(out, stats.count() > 0 ? stats.min() : 0.0);
-  *out += ",\"max\":";
-  AppendDouble(out, stats.count() > 0 ? stats.max() : 0.0);
-  *out += "}";
+/// One stats sub-object: {"count":N,"sum":S,"mean":M,"min":m,"max":X}.
+/// min/max are +-inf on an empty accumulator, which JSON cannot carry.
+void WriteStats(obs::JsonWriter* w, const char* key,
+                const RunningStats& stats) {
+  w->Key(key);
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(stats.count());
+  w->Key("sum");
+  w->Double(stats.sum());
+  w->Key("mean");
+  w->Double(stats.mean());
+  w->Key("min");
+  w->Double(stats.count() > 0 ? stats.min() : 0.0);
+  w->Key("max");
+  w->Double(stats.count() > 0 ? stats.max() : 0.0);
+  w->EndObject();
 }
 
 }  // namespace
 
 std::string MetricsToJson(const SimulationMetrics& metrics) {
-  std::string out = "{\n  \"files\": [\n";
-  for (std::size_t i = 0; i < metrics.per_file.size(); ++i) {
-    const FileMetrics& f = metrics.per_file[i];
-    out += "    {\"name\":";
-    AppendJsonString(&out, f.file_name);
-    out += ",\"attempts\":" + std::to_string(f.attempts());
-    out += ",\"completed\":" + std::to_string(f.completed);
-    out += ",\"incomplete\":" + std::to_string(f.incomplete);
-    out += ",\"missed_deadline\":" + std::to_string(f.missed_deadline);
-    out += ",\"errors_observed\":" + std::to_string(f.errors_observed);
-    out += ",\"corrupt_detected\":" + std::to_string(f.corrupt_detected);
-    out += ",";
-    AppendStats(&out, "latency", f.latency);
-    out += ",";
-    AppendStats(&out, "stall", f.stall);
-    out += ",";
-    AppendStats(&out, "periods_to_recovery", f.periods_to_recovery);
-    out += i + 1 < metrics.per_file.size() ? "},\n" : "}\n";
+  // Emitted through the canonical obs::JsonWriter; the layout (indented
+  // files array, compact members) is pinned byte-for-byte by the committed
+  // scenario goldens, which predate the writer.
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Newline("  ");
+  w.Key("files");
+  w.Raw(" ");
+  w.BeginArray();
+  for (const FileMetrics& f : metrics.per_file) {
+    w.Newline("    ");
+    w.BeginObject();
+    w.Key("name");
+    w.String(f.file_name);
+    w.Key("attempts");
+    w.Uint(f.attempts());
+    w.Key("completed");
+    w.Uint(f.completed);
+    w.Key("incomplete");
+    w.Uint(f.incomplete);
+    w.Key("missed_deadline");
+    w.Uint(f.missed_deadline);
+    w.Key("errors_observed");
+    w.Uint(f.errors_observed);
+    w.Key("corrupt_detected");
+    w.Uint(f.corrupt_detected);
+    WriteStats(&w, "latency", f.latency);
+    WriteStats(&w, "stall", f.stall);
+    WriteStats(&w, "periods_to_recovery", f.periods_to_recovery);
+    w.EndObject();
   }
-  out += "  ],\n  \"overall\": {";
-  out += "\"attempts\":" + std::to_string(metrics.TotalAttempts());
-  out += ",\"miss_rate\":";
-  AppendDouble(&out, metrics.OverallMissRate());
-  out += ",\"mean_latency\":";
-  AppendDouble(&out, metrics.OverallMeanLatency());
-  out += ",\"max_latency\":";
-  AppendDouble(&out, metrics.OverallMaxLatency());
-  out += ",\"mean_stall\":";
-  AppendDouble(&out, metrics.OverallMeanStall());
-  out += ",\"undecodable_rate\":";
-  AppendDouble(&out, metrics.OverallUndecodableRate());
-  out += "}\n}\n";
-  return out;
+  w.Newline("  ");
+  w.EndArray();
+  w.Newline("  ");
+  w.Key("overall");
+  w.Raw(" ");
+  w.BeginObject();
+  w.Key("attempts");
+  w.Uint(metrics.TotalAttempts());
+  w.Key("miss_rate");
+  w.Double(metrics.OverallMissRate());
+  w.Key("mean_latency");
+  w.Double(metrics.OverallMeanLatency());
+  w.Key("max_latency");
+  w.Double(metrics.OverallMaxLatency());
+  w.Key("mean_stall");
+  w.Double(metrics.OverallMeanStall());
+  w.Key("undecodable_rate");
+  w.Double(metrics.OverallUndecodableRate());
+  w.EndObject();
+  w.Newline("");
+  w.EndObject();
+  w.Raw("\n");
+  return w.Release();
 }
 
 void SimulationMetrics::Merge(const SimulationMetrics& other) {

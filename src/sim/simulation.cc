@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
 #include "sim/event_engine.h"
@@ -245,7 +247,8 @@ Status Simulator::ValidateWorkload(
 }
 
 Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
-                                                 runtime::ThreadPool* pool)
+                                                 runtime::ThreadPool* pool,
+                                                 obs::Timeline* timeline)
     const {
   const std::size_t file_count = files().size();
   // Validate everything up front (per-file deadline and admissible start
@@ -260,10 +263,25 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
   const std::uint64_t total = file_count * config.requests_per_file;
   const unsigned shards = runtime::ShardCountFor(pool, total);
   std::vector<SimulationMetrics> shard_metrics(shards);
+  std::vector<obs::Timeline> shard_timelines;
+  if (timeline != nullptr) {
+    shard_timelines.assign(
+        shards, obs::Timeline(timeline->interval_slots(),
+                              timeline->horizon()));
+  }
+  obs::HistogramMetric* dispatch_us = obs::GlobalRegistry().GetHistogram(
+      "phase.slot_dispatch_us", obs::PhaseTimerBoundsUs());
   runtime::ParallelFor(
       pool, total, shards,
       [&](unsigned shard, runtime::ShardRange range) {
+        // One timer per shard of slot-walked retrievals — never per request.
+        obs::ScopedPhaseTimer timer(dispatch_us);
         SimulationMetrics& local = shard_metrics[shard];
+        obs::Timeline* local_tl =
+            timeline != nullptr ? &shard_timelines[shard] : nullptr;
+        if (local_tl != nullptr) {
+          local_tl->Reserve(static_cast<std::size_t>(range.end - range.begin));
+        }
         local.per_file.resize(file_count);
         for (std::uint64_t g = range.begin; g < range.end; ++g) {
           const auto f = static_cast<broadcast::FileIndex>(
@@ -284,8 +302,20 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
             fm.periods_to_recovery.Add(
                 static_cast<double>(outcome->periods_to_recovery));
             if (!outcome->met_deadline) ++fm.missed_deadline;
+            if (local_tl != nullptr) {
+              local_tl->RecordCompleted(outcome->completion_slot,
+                                        outcome->latency,
+                                        outcome->stall_slots,
+                                        outcome->met_deadline,
+                                        outcome->errors_observed,
+                                        outcome->corrupt_detected);
+            }
           } else {
             ++fm.incomplete;
+            if (local_tl != nullptr) {
+              local_tl->RecordIncomplete(outcome->errors_observed,
+                                         outcome->corrupt_detected);
+            }
           }
           fm.errors_observed += outcome->errors_observed;
           fm.corrupt_detected += outcome->corrupt_detected;
@@ -298,11 +328,15 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
     metrics.per_file[f].file_name = files()[f].name;
   }
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
+  if (timeline != nullptr) {
+    for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
+  }
   return metrics;
 }
 
 Result<SimulationMetrics> Simulator::RunWorkloadEvented(
-    const WorkloadConfig& config, runtime::ThreadPool* pool) const {
+    const WorkloadConfig& config, runtime::ThreadPool* pool,
+    obs::Timeline* timeline) const {
   // Identical validation, request generation, and sharding to RunWorkload:
   // the two paths differ only in how each retrieval is walked, so the
   // resulting metrics snapshots are byte-identical.
@@ -322,10 +356,10 @@ Result<SimulationMetrics> Simulator::RunWorkloadEvented(
   };
   if (schedule_ != nullptr) {
     const EventEngine engine(*schedule_, faults_);
-    return engine.Run(total, client_at, pool);
+    return engine.Run(total, client_at, pool, nullptr, timeline);
   }
   const EventEngine engine(*program_, faults_);
-  return engine.Run(total, client_at, pool);
+  return engine.Run(total, client_at, pool, nullptr, timeline);
 }
 
 Result<TransactionMetrics> Simulator::RunTransactionWorkload(
@@ -395,7 +429,7 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
 
 Result<SimulationMetrics> Simulator::RunRequests(
     const std::vector<ClientRequest>& requests,
-    runtime::ThreadPool* pool) const {
+    runtime::ThreadPool* pool, obs::Timeline* timeline) const {
   const std::size_t file_count = files().size();
   // Validate up front so shard workers cannot fail mid-flight.
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -421,10 +455,24 @@ Result<SimulationMetrics> Simulator::RunRequests(
 
   const unsigned shards = runtime::ShardCountFor(pool, requests.size());
   std::vector<SimulationMetrics> shard_metrics(shards);
+  std::vector<obs::Timeline> shard_timelines;
+  if (timeline != nullptr) {
+    shard_timelines.assign(
+        shards, obs::Timeline(timeline->interval_slots(),
+                              timeline->horizon()));
+  }
+  obs::HistogramMetric* dispatch_us = obs::GlobalRegistry().GetHistogram(
+      "phase.slot_dispatch_us", obs::PhaseTimerBoundsUs());
   runtime::ParallelFor(
       pool, requests.size(), shards,
       [&](unsigned shard, runtime::ShardRange range) {
+        obs::ScopedPhaseTimer timer(dispatch_us);
         SimulationMetrics& local = shard_metrics[shard];
+        obs::Timeline* local_tl =
+            timeline != nullptr ? &shard_timelines[shard] : nullptr;
+        if (local_tl != nullptr) {
+          local_tl->Reserve(static_cast<std::size_t>(range.end - range.begin));
+        }
         local.per_file.resize(file_count);
         for (std::uint64_t g = range.begin; g < range.end; ++g) {
           auto outcome = Retrieve(requests[g]);
@@ -437,8 +485,20 @@ Result<SimulationMetrics> Simulator::RunRequests(
             fm.periods_to_recovery.Add(
                 static_cast<double>(outcome->periods_to_recovery));
             if (!outcome->met_deadline) ++fm.missed_deadline;
+            if (local_tl != nullptr) {
+              local_tl->RecordCompleted(outcome->completion_slot,
+                                        outcome->latency,
+                                        outcome->stall_slots,
+                                        outcome->met_deadline,
+                                        outcome->errors_observed,
+                                        outcome->corrupt_detected);
+            }
           } else {
             ++fm.incomplete;
+            if (local_tl != nullptr) {
+              local_tl->RecordIncomplete(outcome->errors_observed,
+                                         outcome->corrupt_detected);
+            }
           }
           fm.errors_observed += outcome->errors_observed;
           fm.corrupt_detected += outcome->corrupt_detected;
@@ -451,6 +511,9 @@ Result<SimulationMetrics> Simulator::RunRequests(
     metrics.per_file[f].file_name = files()[f].name;
   }
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
+  if (timeline != nullptr) {
+    for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
+  }
   return metrics;
 }
 

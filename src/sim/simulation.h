@@ -26,6 +26,10 @@
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 
+namespace bdisk::obs {
+class Timeline;
+}  // namespace bdisk::obs
+
 namespace bdisk::runtime {
 class ThreadPool;
 }  // namespace bdisk::runtime
@@ -169,8 +173,15 @@ class Simulator {
   /// per-shard metrics are merged; because draws are indexed by request
   /// (WorkloadConfig::seed) and the stats accumulators merge exactly, the
   /// result is bit-identical to the serial path for any thread count.
+  ///
+  /// A non-null `timeline` (obs/snapshot.h; geometry covering this
+  /// horizon) additionally receives every outcome bucketed by completion
+  /// slot, under the same exact-merge determinism contract — the rendered
+  /// snapshot stream is byte-identical at any thread count and across the
+  /// slot and event engines.
   Result<SimulationMetrics> RunWorkload(const WorkloadConfig& config,
-                                        runtime::ThreadPool* pool =
+                                        runtime::ThreadPool* pool = nullptr,
+                                        obs::Timeline* timeline =
                                             nullptr) const;
 
   /// Discrete-event equivalent of RunWorkload (sim/event_engine.h): the
@@ -181,6 +192,8 @@ class Simulator {
   /// which is what scales the simulator to million-client fleets.
   Result<SimulationMetrics> RunWorkloadEvented(const WorkloadConfig& config,
                                                runtime::ThreadPool* pool =
+                                                   nullptr,
+                                               obs::Timeline* timeline =
                                                    nullptr) const;
 
   /// Runs `config.transactions` random multi-item transactions and
@@ -197,7 +210,8 @@ class Simulator {
   /// on any invalid request (unknown file, start beyond the horizon).
   Result<SimulationMetrics> RunRequests(
       const std::vector<ClientRequest>& requests,
-      runtime::ThreadPool* pool = nullptr) const;
+      runtime::ThreadPool* pool = nullptr,
+      obs::Timeline* timeline = nullptr) const;
 
   /// Number of faulty (lost or corrupted) slots in the realization
   /// (diagnostics).

@@ -37,6 +37,13 @@
 // (src/sim/event_engine.h), which produces byte-identical metrics but
 // scales to million-client fleets.
 //
+// --metrics-out PATH streams periodic JSON-line snapshots of the replay
+// (obs/snapshot.h; "-" = stdout) every --metrics-interval N slots
+// (default: one program period). The stream is deterministic — identical
+// at any thread count and across both engines — and is what `bdisk_top`
+// tails. With --adaptive, the static and adaptive replays append their
+// own streams to the same file.
+//
 // Example byte-domain spec:
 //   channel 196608
 //   file nav     bytes=16384 latency=0.5 faults=1
@@ -64,6 +71,8 @@
 #include "bdisk/pinwheel_builder.h"
 #include "bdisk/spec_parser.h"
 #include "faults/channel_spec.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "pinwheel/composite_scheduler.h"
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
@@ -79,6 +88,25 @@ const bdisk::faults::ChannelModel* g_channel = nullptr;
 std::uint64_t g_requests_per_file = 200;
 std::uint64_t g_workload_seed = 42;
 bool g_evented_engine = false;
+const char* g_metrics_out = nullptr;
+std::uint64_t g_metrics_interval = 0;  // 0 = one program period.
+// The first stream truncates the file; later runs (e.g. the two --adaptive
+// replays) append to it.
+bool g_metrics_append = false;
+
+// Streams `timeline` (plus the global registry) to --metrics-out.
+int EmitMetricsStream(const bdisk::obs::Timeline& timeline) {
+  auto status = bdisk::obs::WriteSnapshotStream(
+      timeline, &bdisk::obs::GlobalRegistry(), g_metrics_out,
+      g_metrics_append);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics stream failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  g_metrics_append = true;
+  return 0;
+}
 
 void PrintProgram(const BuildResult& result) {
   const BroadcastProgram& p = result.program;
@@ -151,13 +179,24 @@ int ReplayChannel(const BroadcastProgram& planned) {
   bdisk::sim::WorkloadConfig config;
   config.requests_per_file = g_requests_per_file;
   config.seed = g_workload_seed;
-  auto metrics = g_evented_engine
-                     ? simulator.RunWorkloadEvented(config, g_pool)
-                     : simulator.RunWorkload(config, g_pool);
+  std::unique_ptr<bdisk::obs::Timeline> timeline;
+  if (g_metrics_out != nullptr) {
+    const std::uint64_t interval =
+        g_metrics_interval > 0 ? g_metrics_interval : planned.period();
+    timeline = std::make_unique<bdisk::obs::Timeline>(interval, horizon);
+  }
+  auto metrics =
+      g_evented_engine
+          ? simulator.RunWorkloadEvented(config, g_pool, timeline.get())
+          : simulator.RunWorkload(config, g_pool, timeline.get());
   if (!metrics.ok()) {
     std::fprintf(stderr, "channel replay failed: %s\n",
                  metrics.status().ToString().c_str());
     return 1;
+  }
+  if (timeline != nullptr) {
+    const int rc = EmitMetricsStream(*timeline);
+    if (rc != 0) return rc;
   }
   std::printf("\nchannel replay (%s engine): %s over %llu slots "
               "(%llu faulty), %llu requests/file, workload seed %llu\n",
@@ -192,13 +231,26 @@ int ReplayAdaptive(const BroadcastProgram& planned) {
   workload.seed = 7;
   const std::uint64_t interval = 25 * planned.period();
 
+  std::uint64_t snapshot_interval = 0;
+  if (g_metrics_out != nullptr) {
+    snapshot_interval =
+        g_metrics_interval > 0 ? g_metrics_interval : planned.period();
+  }
   auto replay = bdisk::adaptive::RunAdaptiveExperiment(
       population, workload, interval, {}, /*loss_probability=*/0.02,
-      /*fault_seed=*/99, g_pool, &planned, g_channel);
+      /*fault_seed=*/99, g_pool, &planned, g_channel, snapshot_interval);
   if (!replay.ok()) {
     std::fprintf(stderr, "adaptive replay failed: %s\n",
                  replay.status().ToString().c_str());
     return 1;
+  }
+  if (replay->static_timeline != nullptr) {
+    const int rc = EmitMetricsStream(*replay->static_timeline);
+    if (rc != 0) return rc;
+  }
+  if (replay->adaptive_timeline != nullptr) {
+    const int rc = EmitMetricsStream(*replay->adaptive_timeline);
+    if (rc != 0) return rc;
   }
   std::printf("\nadaptive replay: Zipf(%.2f) demand over %llu slots, "
               "ranking reversed at slot %llu, %llu requests, "
@@ -288,12 +340,30 @@ int main(int argc, char** argv) {
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "seed");
   const char* engine_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "engine");
+  g_metrics_out = bdisk::runtime::ConsumeStringFlag(&argc, argv,
+                                                    "metrics-out");
+  const char* metrics_interval_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "metrics-interval");
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--adaptive] [--channel SPEC] "
                  "[--engine slot|event] [--requests N] [--seed S] "
+                 "[--metrics-out PATH] [--metrics-interval N] "
                  "<spec-file | ->\n",
                  argv[0]);
+    return 2;
+  }
+  if (metrics_interval_token != nullptr) {
+    if (!ParseUint64Token(metrics_interval_token, &g_metrics_interval) ||
+        g_metrics_interval == 0) {
+      std::fprintf(stderr, "error: --metrics-interval must be a positive "
+                   "integer, got '%s'\n", metrics_interval_token);
+      return 2;
+    }
+  }
+  if (g_metrics_interval != 0 && g_metrics_out == nullptr) {
+    std::fprintf(stderr,
+                 "error: --metrics-interval requires --metrics-out\n");
     return 2;
   }
   if (engine_token != nullptr) {

@@ -1,0 +1,217 @@
+// bdisk_top — live dashboard over a --metrics-out snapshot stream.
+//
+// Reads the JSON-line stream written by `bdisk_planner --metrics-out` (or
+// any obs::WriteSnapshotStream caller) and renders a table of the run's
+// progress over the simulated clock: one row per snapshot line with
+// completed retrievals, delay mean/max and p50/p90/p99, deadline misses,
+// and observed channel errors; the final row adds the undecodable and
+// miss rates that are only knowable at the horizon. When the stream
+// carries a "registry" line, a footer derives throughput figures from the
+// process-wide instruments: GF encode/decode GB/s, event-engine events/s,
+// and adaptive hot swaps.
+//
+// Usage:
+//   bdisk_top [--follow] [--rows N] stream.jsonl
+//
+// --follow re-reads the file every 500 ms and redraws in place (ANSI),
+// tailing a run that is still appending; Ctrl-C to stop. --rows N limits
+// the table to the last N snapshot rows (default 20; 0 = all). A stream
+// holding several runs (e.g. --adaptive appends static + adaptive
+// replays) renders the last run, with a header count of the others.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "runtime/flags.h"
+
+namespace {
+
+using bdisk::obs::JsonValue;
+using bdisk::obs::ParseJson;
+
+double Num(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+struct Stream {
+  std::size_t runs = 0;           // Header lines seen.
+  std::vector<JsonValue> rows;    // Snapshot + final lines of the last run.
+  JsonValue header;               // Last run's header.
+  JsonValue registry;             // Last registry line (if any).
+  bool has_registry = false;
+  std::size_t bad_lines = 0;
+};
+
+// Parses the stream, keeping only the last run's rows (a file may hold
+// several appended runs).
+Stream ParseStream(std::istream& in) {
+  Stream s;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      ++s.bad_lines;
+      continue;
+    }
+    const JsonValue* type = parsed->Find("type");
+    if (type == nullptr || !type->is_string()) {
+      ++s.bad_lines;
+      continue;
+    }
+    if (type->string_value == "header") {
+      ++s.runs;
+      s.header = std::move(*parsed);
+      s.rows.clear();
+    } else if (type->string_value == "snapshot" ||
+               type->string_value == "final") {
+      s.rows.push_back(std::move(*parsed));
+    } else if (type->string_value == "registry") {
+      s.registry = std::move(*parsed);
+      s.has_registry = true;
+    } else {
+      ++s.bad_lines;
+    }
+  }
+  return s;
+}
+
+void RenderRegistryFooter(const JsonValue& registry) {
+  // Derived throughput: bytes counters over the matching phase-timer sums
+  // (histogram "sum" is total microseconds spent in that phase).
+  const auto phase_us = [&](const char* name) {
+    const JsonValue* h = registry.Find(name);
+    return h != nullptr && h->is_object() ? Num(*h, "sum") : 0.0;
+  };
+  const double encode_us = phase_us("phase.encode_us");
+  const double decode_us = phase_us("phase.decode_us");
+  const double drain_us = phase_us("phase.event_drain_us");
+  const double encode_bytes = Num(registry, "ida.encode_bytes");
+  const double decode_bytes = Num(registry, "ida.decode_bytes");
+  const double events = Num(registry, "sim.events");
+  const double swaps = Num(registry, "adaptive.swaps");
+
+  std::printf("\nprocess instruments (wall clock):\n");
+  if (encode_us > 0.0) {
+    std::printf("  GF encode: %8.3f GB/s (%.0f MB in %.1f ms)\n",
+                encode_bytes / 1e3 / encode_us, encode_bytes / 1e6,
+                encode_us / 1e3);
+  }
+  if (decode_us > 0.0) {
+    std::printf("  GF decode: %8.3f GB/s (%.0f MB in %.1f ms)\n",
+                decode_bytes / 1e3 / decode_us, decode_bytes / 1e6,
+                decode_us / 1e3);
+  }
+  if (drain_us > 0.0) {
+    std::printf("  events:    %8.3f M events/s (%.0f events in %.1f ms)\n",
+                events / drain_us, events, drain_us / 1e3);
+  }
+  if (swaps > 0.0) {
+    std::printf("  hot swaps: %.0f\n", swaps);
+  }
+}
+
+void Render(const Stream& s, std::size_t max_rows, const char* path) {
+  if (s.runs == 0) {
+    std::printf("bdisk_top: no snapshot stream in '%s' yet\n", path);
+    return;
+  }
+  std::printf("bdisk_top: %s — showing run %zu (last of %zu), interval "
+              "%llu slots, horizon %llu slots\n",
+              path, s.runs, s.runs,
+              static_cast<unsigned long long>(Num(s.header,
+                                                  "interval_slots")),
+              static_cast<unsigned long long>(Num(s.header, "horizon")));
+  std::printf("%10s %10s %9s %9s %9s %6s %6s %6s %7s %8s\n", "slot",
+              "completed", "+intvl", "mean_lat", "max_lat", "p50", "p90",
+              "p99", "missed", "errors");
+  const std::size_t begin =
+      max_rows > 0 && s.rows.size() > max_rows ? s.rows.size() - max_rows
+                                               : 0;
+  if (begin > 0) {
+    std::printf("  ... %zu earlier snapshots ...\n", begin);
+  }
+  for (std::size_t i = begin; i < s.rows.size(); ++i) {
+    const JsonValue& r = s.rows[i];
+    std::printf("%10llu %10llu %9llu %9.2f %9.0f %6llu %6llu %6llu "
+                "%7llu %8llu\n",
+                static_cast<unsigned long long>(Num(r, "slot")),
+                static_cast<unsigned long long>(Num(r, "completed")),
+                static_cast<unsigned long long>(
+                    Num(r, "interval_completed")),
+                Num(r, "mean_latency"), Num(r, "max_latency"),
+                static_cast<unsigned long long>(Num(r, "p50_latency")),
+                static_cast<unsigned long long>(Num(r, "p90_latency")),
+                static_cast<unsigned long long>(Num(r, "p99_latency")),
+                static_cast<unsigned long long>(Num(r, "missed_deadline")),
+                static_cast<unsigned long long>(Num(r, "errors_observed")));
+  }
+  if (!s.rows.empty()) {
+    const JsonValue& last = s.rows.back();
+    const JsonValue* type = last.Find("type");
+    if (type != nullptr && type->string_value == "final") {
+      std::printf("final: %llu attempts, undecodable rate %.4f, miss rate "
+                  "%.4f\n",
+                  static_cast<unsigned long long>(Num(last, "attempts")),
+                  Num(last, "undecodable_rate"), Num(last, "miss_rate"));
+    } else {
+      std::printf("(run in progress — no final line yet)\n");
+    }
+  }
+  if (s.has_registry) RenderRegistryFooter(s.registry);
+  if (s.bad_lines > 0) {
+    std::printf("warning: %zu unparseable lines skipped\n", s.bad_lines);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool follow = bdisk::runtime::ConsumeBoolFlag(&argc, argv, "follow");
+  const char* rows_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "rows");
+  std::uint64_t max_rows = 20;
+  if (rows_token != nullptr &&
+      !bdisk::runtime::ParseUint64Token(rows_token, &max_rows)) {
+    std::fprintf(stderr, "error: --rows must be a non-negative integer, "
+                 "got '%s'\n", rows_token);
+    return 2;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s [--follow] [--rows N] stream.jsonl\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+
+  for (;;) {
+    std::ifstream in(path);
+    if (!in && !follow) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path);
+      return 1;
+    }
+    if (follow) {
+      // Home + clear-to-end redraw keeps the table in place while the
+      // producer appends.
+      std::printf("\033[H\033[J");
+    }
+    if (in) {
+      Stream s = ParseStream(in);
+      Render(s, static_cast<std::size_t>(max_rows), path);
+    } else {
+      std::printf("bdisk_top: waiting for '%s'...\n", path);
+    }
+    if (!follow) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+  return 0;
+}

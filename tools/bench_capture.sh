@@ -14,6 +14,11 @@
 # so it runs twice: once pinned to the generic kernels via BDISK_GF_IMPL
 # and once on the probed best; its metric names carry the implementation
 # prefix, so the lines coexist in one file.
+#
+# The finished capture is validated with `bench_compare --check` (when the
+# tool is built): every line must parse as a trajectory datapoint and the
+# file must be non-empty, so a silently-broken capture fails here instead
+# of committing an unusable trajectory.
 
 set -euo pipefail
 
@@ -53,6 +58,18 @@ if grep -q '"metric":"generic:' "$best_lines"; then
   echo "   probed best is generic; skipping duplicate datapoints" >&2
 else
   cat "$best_lines" >> "$out"
+fi
+
+# Validate the capture before anyone commits it. --check fails on an
+# empty file and on any line that is not a well-formed datapoint.
+if [[ -x "$build/bench_compare" ]]; then
+  "$build/bench_compare" --check "$out" >&2
+else
+  echo "warning: $build/bench_compare not built; capture not validated" >&2
+  if [[ ! -s "$out" ]]; then
+    echo "error: capture '$out' is empty" >&2
+    exit 1
+  fi
 fi
 
 echo "wrote $(grep -c . "$out") datapoints to $out" >&2
