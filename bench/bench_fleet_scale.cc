@@ -16,11 +16,13 @@
 //     RunWorkloadEvented's MetricsToJson must equal RunWorkload's byte for
 //     byte before any number is reported;
 //   * asserts the ops plane's overhead budget: the fleet is run as three
-//     interleaved (snapshots-off, snapshots-on) pairs with an
-//     obs::Timeline at 1-slot granularity, and FAILS if the best
-//     snapshot-on time exceeds the best snapshot-off time by more than 1%
-//     (plus a 5 ms absolute floor so sub-second CI smoke configurations
-//     aren't gated on timer noise).
+//     interleaved (obs-off, snapshots-on, tracing-on) triples — the
+//     snapshot run records an obs::Timeline at 1-slot granularity, the
+//     trace run samples causal spans at 1/1024 with anomaly triggers
+//     armed (obs/trace.h) — and FAILS if either enabled side's best time
+//     exceeds the best obs-off time by more than 1% (plus a 5 ms absolute
+//     floor so sub-second CI smoke configurations aren't gated on timer
+//     noise).
 //
 // Flags: --clients N (1000000), --slots N (10000), --threads N (1),
 //        --seed N (42).
@@ -46,6 +48,7 @@
 #include "common/zipf.h"
 #include "faults/channel_spec.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
 #include "sim/arrivals.h"
@@ -171,9 +174,11 @@ int main(int argc, char** argv) {
 
   EventEngineStats stats;
   SimulationMetrics metrics;
-  const auto timed_run = [&](bdisk::obs::Timeline* timeline) {
+  const auto timed_run = [&](bdisk::obs::Timeline* timeline,
+                             bdisk::obs::TraceSink* trace) {
     const auto t0 = std::chrono::steady_clock::now();
-    metrics = engine.Run(clients, client_at, pool.get(), &stats, timeline);
+    metrics = engine.Run(clients, client_at, pool.get(), &stats, timeline,
+                         trace);
     if (sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
@@ -182,20 +187,29 @@ int main(int argc, char** argv) {
         .count();
   };
 
-  // Three interleaved (snapshots-off, snapshots-on) pairs; min-of-runs on
-  // each side cancels scheduler noise. The snapshot timeline runs at the
-  // finest possible granularity (1 slot) — the worst case for recording
-  // cost — and each enabled run gets a fresh timeline, as a streamer
-  // would.
+  // Three interleaved (obs-off, snapshots-on, tracing-on) triples;
+  // min-of-runs on each side cancels scheduler noise. The snapshot
+  // timeline runs at the finest possible granularity (1 slot) — the worst
+  // case for recording cost — and each enabled run gets a fresh timeline
+  // / sink, as a streamer would. The trace run is the production flight
+  // configuration: 1/1024 sampling with anomaly triggers armed.
   constexpr int kPairs = 3;
   double best_off = 0.0;
   double best_on = 0.0;
+  double best_trace = 0.0;
+  std::uint64_t traced_spans = 0;
   for (int pair = 0; pair < kPairs; ++pair) {
-    const double off = timed_run(nullptr);
+    const double off = timed_run(nullptr, nullptr);
     if (pair == 0 || off < best_off) best_off = off;
     bdisk::obs::Timeline timeline(1, slots);
-    const double on = timed_run(&timeline);
+    const double on = timed_run(&timeline, nullptr);
     if (pair == 0 || on < best_on) best_on = on;
+    bdisk::obs::TraceOptions trace_options;
+    trace_options.sample_every = 1024;
+    bdisk::obs::TraceSink sink(trace_options);
+    const double traced = timed_run(nullptr, &sink);
+    if (pair == 0 || traced < best_trace) best_trace = traced;
+    traced_spans = sink.recorded_count();
   }
   const double seconds = best_off;
 
@@ -207,12 +221,17 @@ int main(int argc, char** argv) {
 
   const double overhead_pct =
       best_off > 0.0 ? 100.0 * (best_on - best_off) / best_off : 0.0;
+  const double trace_overhead_pct =
+      best_off > 0.0 ? 100.0 * (best_trace - best_off) / best_off : 0.0;
   std::printf("events processed : %llu (%.2fM events/s)\n",
               static_cast<unsigned long long>(stats.events),
               events_per_sec / 1e6);
   std::printf("wall time        : %.2f s (best of %d; snapshots on: "
-              "%.2f s, %+.2f%%)\n",
-              seconds, kPairs, best_on, overhead_pct);
+              "%.2f s, %+.2f%%; tracing 1/1024: %.2f s, %+.2f%%, "
+              "%llu spans)\n",
+              seconds, kPairs, best_on, overhead_pct, best_trace,
+              trace_overhead_pct,
+              static_cast<unsigned long long>(traced_spans));
   std::printf("mean delay       : %.1f slots\n", mean_delay);
   std::printf("undecodable rate : %.6f\n", metrics.OverallUndecodableRate());
   std::printf("peak RSS         : %.1f MB\n", peak_mb);
@@ -228,6 +247,8 @@ int main(int argc, char** argv) {
   benchutil::EmitJson("bench_fleet_scale", "peak_rss_mb", peak_mb, threads);
   benchutil::EmitJson("bench_fleet_scale", "snapshot_overhead_pct",
                       overhead_pct, threads);
+  benchutil::EmitJson("bench_fleet_scale", "trace_overhead_pct",
+                      trace_overhead_pct, threads);
 
   // The ops-plane budget: full snapshot recording at 1-slot granularity
   // must cost < 1% wall clock (5 ms absolute floor for sub-second smoke
@@ -237,6 +258,17 @@ int main(int argc, char** argv) {
                  "FAIL: snapshot streaming overhead %.2f%% exceeds the 1%% "
                  "budget (off %.3f s, on %.3f s)\n",
                  overhead_pct, best_off, best_on);
+    return 1;
+  }
+
+  // Same budget for causal tracing at the production 1/1024 sampling
+  // rate: the hot path pays one trigger check per client; span replay is
+  // paid only for the sampled/anomalous few.
+  if (best_trace > best_off * 1.01 + 0.005) {
+    std::fprintf(stderr,
+                 "FAIL: trace capture overhead %.2f%% exceeds the 1%% "
+                 "budget (off %.3f s, traced %.3f s)\n",
+                 trace_overhead_pct, best_off, best_trace);
     return 1;
   }
 

@@ -108,7 +108,10 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     std::uint64_t fault_seed, runtime::ThreadPool* pool,
     const broadcast::BroadcastProgram* initial,
     const faults::ChannelModel* channel,
-    std::uint64_t snapshot_interval_slots) {
+    std::uint64_t snapshot_interval_slots,
+    const obs::TraceOptions* trace_options,
+    const std::function<Status(const obs::Timeline& timeline, bool adaptive)>&
+        on_replay_timeline) {
   if (interval_slots == 0) {
     return Status::InvalidArgument(
         "RunAdaptiveExperiment: interval_slots must be positive");
@@ -154,11 +157,36 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
                                 req.start_slot / interval_slots);
     ++interval_counts[i][req.file];
   }
+  std::unique_ptr<obs::TraceSink> static_trace;
+  std::unique_ptr<obs::TraceSink> adaptive_trace;
+  if (trace_options != nullptr) {
+    static_trace = std::make_unique<obs::TraceSink>(*trace_options);
+    adaptive_trace = std::make_unique<obs::TraceSink>(*trace_options);
+  }
   for (std::uint64_t i = 0; i < intervals; ++i) {
     auto swapped =
         controller.EndInterval(interval_counts[i], (i + 1) * interval_slots,
                                pool);
     if (!swapped.ok()) return swapped.status();
+    if (adaptive_trace != nullptr) {
+      // One swap-decision span per interval: what the controller decided
+      // and, on a swap, where the new epoch takes effect.
+      obs::TraceSpan span;
+      span.kind = obs::TraceSpanKind::kSwapDecision;
+      span.request_id = i;
+      span.file_name = "controller";
+      span.start_slot = i * interval_slots;
+      span.end_slot = (i + 1) * interval_slots;
+      span.completed = *swapped;
+      span.trigger = obs::kTraceSwap;
+      if (*swapped) {
+        const auto& epochs = controller.schedule().epochs();
+        span.events.push_back(obs::TraceEvent{
+            epochs.back().start_slot, obs::TraceEventKind::kEpoch,
+            static_cast<std::uint32_t>(epochs.size() - 1), 0});
+      }
+      adaptive_trace->Record(std::move(span));
+    }
   }
 
   // Replay the identical trace against both timelines over the same fault
@@ -188,7 +216,11 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
                          : sim::Simulator(baseline, &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics static_metrics,
                          static_sim.RunRequests(requests, pool,
-                                                static_timeline.get()));
+                                                static_timeline.get(),
+                                                static_trace.get()));
+  if (on_replay_timeline && static_timeline != nullptr) {
+    BDISK_RETURN_NOT_OK(on_replay_timeline(*static_timeline, false));
+  }
 
   sim::Simulator adaptive_sim =
       channel != nullptr
@@ -196,14 +228,20 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
           : sim::Simulator(controller.schedule(), &faults, horizon);
   BDISK_ASSIGN_OR_RETURN(sim::SimulationMetrics adaptive_metrics,
                          adaptive_sim.RunRequests(requests, pool,
-                                                  adaptive_timeline.get()));
+                                                  adaptive_timeline.get(),
+                                                  adaptive_trace.get()));
+  if (on_replay_timeline && adaptive_timeline != nullptr) {
+    BDISK_RETURN_NOT_OK(on_replay_timeline(*adaptive_timeline, true));
+  }
 
   return AdaptiveExperimentResult{std::move(static_metrics),
                                   std::move(adaptive_metrics),
                                   controller.swap_count(),
                                   controller.schedule(),
                                   std::move(static_timeline),
-                                  std::move(adaptive_timeline)};
+                                  std::move(adaptive_timeline),
+                                  std::move(static_trace),
+                                  std::move(adaptive_trace)};
 }
 
 }  // namespace bdisk::adaptive

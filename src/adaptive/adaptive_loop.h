@@ -28,6 +28,7 @@
 #define BDISK_ADAPTIVE_ADAPTIVE_LOOP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "common/status.h"
 #include "faults/channel_model.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
@@ -135,6 +137,13 @@ struct AdaptiveExperimentResult {
   /// here rather than passed in.
   std::unique_ptr<obs::Timeline> static_timeline;
   std::unique_ptr<obs::Timeline> adaptive_timeline;
+  /// Causal trace sinks of the two replays (obs/trace.h), populated iff
+  /// trace options were supplied. The adaptive sink additionally carries
+  /// one swap-decision span per controller interval (kind kSwapDecision,
+  /// request_id = interval index, completed = swapped), recorded before
+  /// the replay's retrieval spans.
+  std::unique_ptr<obs::TraceSink> static_trace;
+  std::unique_ptr<obs::TraceSink> adaptive_trace;
 };
 
 /// \brief Runs the full experiment: walks the controller over
@@ -153,6 +162,16 @@ struct AdaptiveExperimentResult {
 /// A nonzero `snapshot_interval_slots` additionally records both replays
 /// into snapshot timelines (AdaptiveExperimentResult::*_timeline) at that
 /// sim-clock granularity, for streaming via obs::WriteSnapshotStream.
+///
+/// Non-null `trace_options` captures both replays' causal spans into
+/// AdaptiveExperimentResult::static_trace / adaptive_trace, plus one
+/// swap-decision span per controller interval into the adaptive sink.
+/// `on_replay_timeline` (when set, and snapshotting is on) is invoked with
+/// each replay's finished timeline right after that replay completes —
+/// before the other replay runs — so callers can stream per-replay state
+/// (e.g. emit then reset the global metric registry) without the two
+/// replays bleeding into each other; a non-OK return aborts the
+/// experiment.
 Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     const std::vector<broadcast::FlatFileSpec>& files,
     const DriftingZipfWorkload& workload, std::uint64_t interval_slots,
@@ -160,7 +179,10 @@ Result<AdaptiveExperimentResult> RunAdaptiveExperiment(
     std::uint64_t fault_seed, runtime::ThreadPool* pool = nullptr,
     const broadcast::BroadcastProgram* initial = nullptr,
     const faults::ChannelModel* channel = nullptr,
-    std::uint64_t snapshot_interval_slots = 0);
+    std::uint64_t snapshot_interval_slots = 0,
+    const obs::TraceOptions* trace_options = nullptr,
+    const std::function<Status(const obs::Timeline& timeline, bool adaptive)>&
+        on_replay_timeline = {});
 
 }  // namespace bdisk::adaptive
 

@@ -7,8 +7,11 @@
 #include "common/check.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "sim/simulation.h"
+#include "sim/trace_walk.h"
 
 namespace bdisk::sim {
 
@@ -233,11 +236,66 @@ void EventShardRunner::Drain() {
   }
 }
 
+void EventEngine::RecordRetrievalTrace(obs::TraceSink* sink,
+                                       std::uint64_t request_id,
+                                       const ClientState& st) const {
+  // Derive the outcome with the slot engine's exact semantics so the
+  // trigger decision and the span metadata agree byte for byte.
+  RetrievalOutcome outcome;
+  outcome.completed = (st.flags & ClientState::kCompleted) != 0;
+  outcome.errors_observed = st.errors_observed;
+  outcome.corrupt_detected = st.corrupt_detected;
+  if (outcome.completed) {
+    outcome.completion_slot = st.completion_slot;
+    outcome.latency = st.completion_slot - st.start_slot + 1;
+    outcome.met_deadline =
+        st.deadline_slots == 0 || outcome.latency <= st.deadline_slots;
+    const std::uint64_t period = PeriodAt(st.start_slot);
+    outcome.periods_to_recovery = (outcome.latency + period - 1) / period;
+    if (st.errors_observed > 0) {
+      BDISK_DCHECK((st.flags & ClientState::kBaselineDone) != 0);
+      outcome.stall_slots = st.completion_slot - st.baseline_slot;
+    }
+  } else {
+    outcome.met_deadline = st.deadline_slots == 0;
+  }
+  const std::uint8_t trigger =
+      sink->TriggerFor(request_id, outcome.completed, outcome.met_deadline,
+                       outcome.stall_slots);
+  if (trigger == 0) return;
+  const broadcast::ProgramFile& pf = files()[st.file];
+  TraceWalkContext ctx;
+  // The event engine finds the next transmission by jump arithmetic — the
+  // same O(log occurrences) step its event loop uses.
+  ctx.next_tx = [this, file = st.file](std::uint64_t from)
+      -> std::optional<std::pair<std::uint64_t, std::uint32_t>> {
+    const auto next = NextTransmissionOf(file, from);
+    if (!next.has_value()) return std::nullopt;
+    return std::make_pair(next->slot, next->block);
+  };
+  ctx.faults = faults_;
+  for (std::size_t e = 1; e < epochs_.size(); ++e) {
+    ctx.epoch_starts.push_back(epochs_[e].start);
+  }
+  ctx.m = pf.m;
+  ctx.n = pf.n;
+  ctx.horizon = faults_->size();
+  sink->Record(BuildRetrievalSpan(ctx, request_id, st.file, pf.name,
+                                  st.start_slot, st.deadline_slots, outcome,
+                                  trigger));
+}
+
 void EventShardRunner::Collect(SimulationMetrics* local,
-                               obs::Timeline* timeline) const {
+                               obs::Timeline* timeline,
+                               std::uint64_t global_begin,
+                               obs::TraceSink* trace) const {
   if (timeline != nullptr) timeline->Reserve(states_.size());
-  for (const ClientState& st : states_) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ClientState& st = states_[i];
     BDISK_DCHECK((st.flags & ClientState::kDone) != 0);
+    if (trace != nullptr) {
+      engine_->RecordRetrievalTrace(trace, global_begin + i, st);
+    }
     FileMetrics& fm = local->per_file[st.file];
     if ((st.flags & ClientState::kCompleted) != 0) {
       const std::uint64_t latency = st.completion_slot - st.start_slot + 1;
@@ -277,7 +335,7 @@ SimulationMetrics EventEngine::Run(
     std::uint64_t count,
     const std::function<EventClient(std::uint64_t)>& client_at,
     runtime::ThreadPool* pool, EventEngineStats* stats,
-    obs::Timeline* timeline) const {
+    obs::Timeline* timeline, obs::TraceSink* trace) const {
   const std::size_t file_count = files().size();
   const unsigned shards = runtime::ShardCountFor(pool, count);
   std::vector<SimulationMetrics> shard_metrics(shards);
@@ -289,6 +347,10 @@ SimulationMetrics EventEngine::Run(
     shard_timelines.assign(
         shards, obs::Timeline(timeline->interval_slots(),
                               timeline->horizon()));
+  }
+  std::vector<obs::TraceSink> shard_traces;
+  if (trace != nullptr) {
+    shard_traces.assign(shards, obs::TraceSink(trace->options()));
   }
   obs::HistogramMetric* drain_us = obs::GlobalRegistry().GetHistogram(
       "phase.event_drain_us", obs::PhaseTimerBoundsUs());
@@ -303,8 +365,10 @@ SimulationMetrics EventEngine::Run(
           obs::ScopedPhaseTimer timer(drain_us);
           runner.Drain();
         }
-        runner.Collect(&local, timeline != nullptr ? &shard_timelines[shard]
-                                                   : nullptr);
+        runner.Collect(&local,
+                       timeline != nullptr ? &shard_timelines[shard] : nullptr,
+                       range.begin,
+                       trace != nullptr ? &shard_traces[shard] : nullptr);
         shard_events[shard] = runner.events_processed();
       });
 
@@ -316,6 +380,9 @@ SimulationMetrics EventEngine::Run(
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
   if (timeline != nullptr) {
     for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
+  }
+  if (trace != nullptr) {
+    for (obs::TraceSink& tr : shard_traces) trace->Merge(std::move(tr));
   }
   std::uint64_t total_events = 0;
   for (const std::uint64_t e : shard_events) total_events += e;

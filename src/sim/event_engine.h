@@ -51,6 +51,7 @@
 
 namespace bdisk::obs {
 class Timeline;
+class TraceSink;
 }  // namespace bdisk::obs
 
 namespace bdisk::runtime {
@@ -180,13 +181,18 @@ class EventEngine {
   /// `timeline` (geometry covering this horizon) additionally receives
   /// every outcome bucketed by completion slot; per-shard timelines merge
   /// exactly in shard order, so the snapshot stream inherits the same
-  /// bit-identical-at-any-thread-count contract as the metrics.
+  /// bit-identical-at-any-thread-count contract as the metrics. A non-null
+  /// `trace` (obs/trace.h) captures causal spans of the requests its
+  /// options trigger on via the shared walker (sim/trace_walk.h); shard
+  /// sinks merge in shard order, so the rendered trace is byte-identical
+  /// to the slot engine's at any thread count.
   SimulationMetrics Run(std::uint64_t count,
                         const std::function<EventClient(std::uint64_t)>&
                             client_at,
                         runtime::ThreadPool* pool = nullptr,
                         EventEngineStats* stats = nullptr,
-                        obs::Timeline* timeline = nullptr) const;
+                        obs::Timeline* timeline = nullptr,
+                        obs::TraceSink* trace = nullptr) const;
 
  private:
   friend class EventShardRunner;
@@ -198,6 +204,13 @@ class EventEngine {
   };
 
   std::size_t EpochIndexAt(std::uint64_t t) const;
+
+  /// Captures the finished client's causal span into `sink` when its
+  /// options trigger; no-op otherwise. Derives the outcome fields with
+  /// the slot engine's exact semantics, then replays via the shared
+  /// walker with NextTransmissionOf as the jump source.
+  void RecordRetrievalTrace(obs::TraceSink* sink, std::uint64_t request_id,
+                            const ClientState& st) const;
 
   std::vector<EpochRef> epochs_;
   const std::vector<faults::FaultType>* faults_;
@@ -224,9 +237,13 @@ class EventShardRunner {
   /// Folds the finished clients' outcomes into `local` in ascending client
   /// order — the slot engine's exact accumulation order. `local->per_file`
   /// must already be sized to the engine's file count. A non-null
-  /// `timeline` receives each outcome bucketed by completion slot.
+  /// `timeline` receives each outcome bucketed by completion slot. A
+  /// non-null `trace` captures triggered spans, with `global_begin` the
+  /// global index of local client 0 (the sampling counter's domain).
   void Collect(SimulationMetrics* local,
-               obs::Timeline* timeline = nullptr) const;
+               obs::Timeline* timeline = nullptr,
+               std::uint64_t global_begin = 0,
+               obs::TraceSink* trace = nullptr) const;
 
   std::size_t client_count() const { return states_.size(); }
   const ClientState& state(std::size_t local_index) const {

@@ -6,9 +6,11 @@
 #include "common/check.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
 #include "sim/event_engine.h"
+#include "sim/trace_walk.h"
 
 namespace bdisk::sim {
 
@@ -164,6 +166,43 @@ std::uint64_t Simulator::PeriodAt(std::uint64_t t) const {
   return schedule_->epochs()[schedule_->EpochIndexAt(t)].program.period();
 }
 
+void Simulator::RecordTraceSpan(obs::TraceSink* sink,
+                                std::uint64_t request_id,
+                                const ClientRequest& request,
+                                const RetrievalOutcome& outcome) const {
+  const std::uint8_t trigger =
+      sink->TriggerFor(request_id, outcome.completed, outcome.met_deadline,
+                       outcome.stall_slots);
+  if (trigger == 0) return;
+  const broadcast::ProgramFile& pf = files()[request.file];
+  TraceWalkContext ctx;
+  // The slot engine finds the next transmission by scanning — the same
+  // O(slots) walk Retrieve performed, now paid only for traced requests.
+  ctx.next_tx = [this, file = request.file](std::uint64_t from)
+      -> std::optional<std::pair<std::uint64_t, std::uint32_t>> {
+    for (std::uint64_t t = from; t < faults_.size(); ++t) {
+      const auto tx = TxAt(t);
+      if (tx.has_value() && tx->file == file) {
+        return std::make_pair(t, tx->block_index);
+      }
+    }
+    return std::nullopt;
+  };
+  ctx.faults = &faults_;
+  if (schedule_ != nullptr) {
+    const auto& epochs = schedule_->epochs();
+    for (std::size_t e = 1; e < epochs.size(); ++e) {
+      ctx.epoch_starts.push_back(epochs[e].start_slot);
+    }
+  }
+  ctx.m = pf.m;
+  ctx.n = pf.n;
+  ctx.horizon = faults_.size();
+  sink->Record(BuildRetrievalSpan(ctx, request_id, request.file, pf.name,
+                                  request.start_slot, request.deadline_slots,
+                                  outcome, trigger));
+}
+
 Result<RetrievalOutcome> Simulator::RetrieveTransaction(
     const TransactionRequest& request) const {
   if (request.files.empty()) {
@@ -248,7 +287,8 @@ Status Simulator::ValidateWorkload(
 
 Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
                                                  runtime::ThreadPool* pool,
-                                                 obs::Timeline* timeline)
+                                                 obs::Timeline* timeline,
+                                                 obs::TraceSink* trace)
     const {
   const std::size_t file_count = files().size();
   // Validate everything up front (per-file deadline and admissible start
@@ -269,6 +309,10 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
         shards, obs::Timeline(timeline->interval_slots(),
                               timeline->horizon()));
   }
+  std::vector<obs::TraceSink> shard_traces;
+  if (trace != nullptr) {
+    shard_traces.assign(shards, obs::TraceSink(trace->options()));
+  }
   obs::HistogramMetric* dispatch_us = obs::GlobalRegistry().GetHistogram(
       "phase.slot_dispatch_us", obs::PhaseTimerBoundsUs());
   runtime::ParallelFor(
@@ -279,6 +323,8 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
         SimulationMetrics& local = shard_metrics[shard];
         obs::Timeline* local_tl =
             timeline != nullptr ? &shard_timelines[shard] : nullptr;
+        obs::TraceSink* local_tr =
+            trace != nullptr ? &shard_traces[shard] : nullptr;
         if (local_tl != nullptr) {
           local_tl->Reserve(static_cast<std::size_t>(range.end - range.begin));
         }
@@ -294,6 +340,7 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
           req.model = config.model;
           auto outcome = Retrieve(req);
           BDISK_CHECK(outcome.ok());  // Inputs were validated above.
+          if (local_tr != nullptr) RecordTraceSpan(local_tr, g, req, *outcome);
           FileMetrics& fm = local.per_file[f];
           if (outcome->completed) {
             ++fm.completed;
@@ -331,12 +378,15 @@ Result<SimulationMetrics> Simulator::RunWorkload(const WorkloadConfig& config,
   if (timeline != nullptr) {
     for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
   }
+  if (trace != nullptr) {
+    for (obs::TraceSink& tr : shard_traces) trace->Merge(std::move(tr));
+  }
   return metrics;
 }
 
 Result<SimulationMetrics> Simulator::RunWorkloadEvented(
     const WorkloadConfig& config, runtime::ThreadPool* pool,
-    obs::Timeline* timeline) const {
+    obs::Timeline* timeline, obs::TraceSink* trace) const {
   // Identical validation, request generation, and sharding to RunWorkload:
   // the two paths differ only in how each retrieval is walked, so the
   // resulting metrics snapshots are byte-identical.
@@ -356,10 +406,10 @@ Result<SimulationMetrics> Simulator::RunWorkloadEvented(
   };
   if (schedule_ != nullptr) {
     const EventEngine engine(*schedule_, faults_);
-    return engine.Run(total, client_at, pool, nullptr, timeline);
+    return engine.Run(total, client_at, pool, nullptr, timeline, trace);
   }
   const EventEngine engine(*program_, faults_);
-  return engine.Run(total, client_at, pool, nullptr, timeline);
+  return engine.Run(total, client_at, pool, nullptr, timeline, trace);
 }
 
 Result<TransactionMetrics> Simulator::RunTransactionWorkload(
@@ -429,7 +479,8 @@ Result<TransactionMetrics> Simulator::RunTransactionWorkload(
 
 Result<SimulationMetrics> Simulator::RunRequests(
     const std::vector<ClientRequest>& requests,
-    runtime::ThreadPool* pool, obs::Timeline* timeline) const {
+    runtime::ThreadPool* pool, obs::Timeline* timeline,
+    obs::TraceSink* trace) const {
   const std::size_t file_count = files().size();
   // Validate up front so shard workers cannot fail mid-flight.
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -461,6 +512,10 @@ Result<SimulationMetrics> Simulator::RunRequests(
         shards, obs::Timeline(timeline->interval_slots(),
                               timeline->horizon()));
   }
+  std::vector<obs::TraceSink> shard_traces;
+  if (trace != nullptr) {
+    shard_traces.assign(shards, obs::TraceSink(trace->options()));
+  }
   obs::HistogramMetric* dispatch_us = obs::GlobalRegistry().GetHistogram(
       "phase.slot_dispatch_us", obs::PhaseTimerBoundsUs());
   runtime::ParallelFor(
@@ -470,6 +525,8 @@ Result<SimulationMetrics> Simulator::RunRequests(
         SimulationMetrics& local = shard_metrics[shard];
         obs::Timeline* local_tl =
             timeline != nullptr ? &shard_timelines[shard] : nullptr;
+        obs::TraceSink* local_tr =
+            trace != nullptr ? &shard_traces[shard] : nullptr;
         if (local_tl != nullptr) {
           local_tl->Reserve(static_cast<std::size_t>(range.end - range.begin));
         }
@@ -477,6 +534,9 @@ Result<SimulationMetrics> Simulator::RunRequests(
         for (std::uint64_t g = range.begin; g < range.end; ++g) {
           auto outcome = Retrieve(requests[g]);
           BDISK_CHECK(outcome.ok());  // Inputs were validated above.
+          if (local_tr != nullptr) {
+            RecordTraceSpan(local_tr, g, requests[g], *outcome);
+          }
           FileMetrics& fm = local.per_file[requests[g].file];
           if (outcome->completed) {
             ++fm.completed;
@@ -513,6 +573,9 @@ Result<SimulationMetrics> Simulator::RunRequests(
   for (const SimulationMetrics& sm : shard_metrics) metrics.Merge(sm);
   if (timeline != nullptr) {
     for (const obs::Timeline& tl : shard_timelines) timeline->Merge(tl);
+  }
+  if (trace != nullptr) {
+    for (obs::TraceSink& tr : shard_traces) trace->Merge(std::move(tr));
   }
   return metrics;
 }

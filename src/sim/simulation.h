@@ -28,6 +28,7 @@
 
 namespace bdisk::obs {
 class Timeline;
+class TraceSink;
 }  // namespace bdisk::obs
 
 namespace bdisk::runtime {
@@ -179,9 +180,17 @@ class Simulator {
   /// slot, under the same exact-merge determinism contract — the rendered
   /// snapshot stream is byte-identical at any thread count and across the
   /// slot and event engines.
+  ///
+  /// A non-null `trace` (obs/trace.h) captures the causal span of every
+  /// request its options trigger on (counter-based sampling by global
+  /// request index plus anomaly triggers), built post hoc by the shared
+  /// walker (sim/trace_walk.h). Shard-local sinks merge in shard order,
+  /// so the rendered trace is byte-identical at any thread count and
+  /// across both engines.
   Result<SimulationMetrics> RunWorkload(const WorkloadConfig& config,
                                         runtime::ThreadPool* pool = nullptr,
-                                        obs::Timeline* timeline =
+                                        obs::Timeline* timeline = nullptr,
+                                        obs::TraceSink* trace =
                                             nullptr) const;
 
   /// Discrete-event equivalent of RunWorkload (sim/event_engine.h): the
@@ -194,6 +203,8 @@ class Simulator {
                                                runtime::ThreadPool* pool =
                                                    nullptr,
                                                obs::Timeline* timeline =
+                                                   nullptr,
+                                               obs::TraceSink* trace =
                                                    nullptr) const;
 
   /// Runs `config.transactions` random multi-item transactions and
@@ -211,7 +222,8 @@ class Simulator {
   Result<SimulationMetrics> RunRequests(
       const std::vector<ClientRequest>& requests,
       runtime::ThreadPool* pool = nullptr,
-      obs::Timeline* timeline = nullptr) const;
+      obs::Timeline* timeline = nullptr,
+      obs::TraceSink* trace = nullptr) const;
 
   /// Number of faulty (lost or corrupted) slots in the realization
   /// (diagnostics).
@@ -240,6 +252,11 @@ class Simulator {
   Status ValidateWorkload(const WorkloadConfig& config,
                           std::vector<std::uint64_t>* deadlines,
                           std::vector<std::uint64_t>* start_ranges) const;
+  /// Captures `request`'s causal span into `sink` when its options
+  /// trigger on the (request_id, outcome) pair; no-op otherwise.
+  void RecordTraceSpan(obs::TraceSink* sink, std::uint64_t request_id,
+                       const ClientRequest& request,
+                       const RetrievalOutcome& outcome) const;
 
   // Exactly one of the two is non-null.
   const broadcast::BroadcastProgram* program_ = nullptr;

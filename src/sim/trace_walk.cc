@@ -1,0 +1,99 @@
+#include "sim/trace_walk.h"
+
+#include "common/check.h"
+#include "sim/simulation.h"
+
+namespace bdisk::sim {
+
+obs::TraceSpan BuildRetrievalSpan(const TraceWalkContext& ctx,
+                                  std::uint64_t request_id,
+                                  std::uint32_t file,
+                                  const std::string& file_name,
+                                  std::uint64_t start_slot,
+                                  std::uint64_t deadline_slots,
+                                  const RetrievalOutcome& outcome,
+                                  std::uint8_t trigger) {
+  BDISK_DCHECK(trigger != 0);
+  obs::TraceSpan span;
+  span.kind = obs::TraceSpanKind::kRetrieval;
+  span.request_id = request_id;
+  span.file = file;
+  span.file_name = file_name;
+  span.start_slot = start_slot;
+  span.end_slot =
+      outcome.completed ? outcome.completion_slot + 1 : ctx.horizon;
+  span.deadline_slots = deadline_slots;
+  span.latency = outcome.completed ? outcome.latency : 0;
+  span.stall_slots = outcome.stall_slots;
+  span.errors_observed = outcome.errors_observed;
+  span.corrupt_detected = outcome.corrupt_detected;
+  span.completed = outcome.completed;
+  span.met_deadline = outcome.met_deadline;
+  span.trigger = trigger;
+
+  span.events.push_back(
+      obs::TraceEvent{start_slot, obs::TraceEventKind::kArrival, 0, 0});
+  // Epoch boundaries at or before the start were already in effect on
+  // arrival; later ones are emitted as the walk crosses them.
+  std::size_t next_epoch = 0;
+  while (next_epoch < ctx.epoch_starts.size() &&
+         ctx.epoch_starts[next_epoch] <= start_slot) {
+    ++next_epoch;
+  }
+  const auto emit_epochs_through = [&](std::uint64_t slot) {
+    while (next_epoch < ctx.epoch_starts.size() &&
+           ctx.epoch_starts[next_epoch] <= slot) {
+      span.events.push_back(obs::TraceEvent{
+          ctx.epoch_starts[next_epoch], obs::TraceEventKind::kEpoch,
+          static_cast<std::uint32_t>(next_epoch + 1), 0});
+      ++next_epoch;
+    }
+  };
+
+  std::vector<bool> have(ctx.n, false);
+  std::uint32_t distinct = 0;
+  bool completed = false;
+  std::uint64_t cursor = start_slot;
+  std::uint64_t completion_slot = 0;
+  while (!completed) {
+    const auto next = ctx.next_tx(cursor);
+    if (!next.has_value()) break;
+    const auto [slot, block] = *next;
+    emit_epochs_through(slot);
+    const faults::FaultType fault = (*ctx.faults)[slot];
+    if (fault == faults::FaultType::kLost) {
+      span.events.push_back(
+          obs::TraceEvent{slot, obs::TraceEventKind::kLost, block, distinct});
+    } else if (fault == faults::FaultType::kCorrupted) {
+      span.events.push_back(obs::TraceEvent{
+          slot, obs::TraceEventKind::kCorrupt, block, distinct});
+    } else {
+      if (!have[block]) {
+        have[block] = true;
+        ++distinct;
+      }
+      span.events.push_back(
+          obs::TraceEvent{slot, obs::TraceEventKind::kBlock, block, distinct});
+      if (distinct >= ctx.m) {
+        span.events.push_back(obs::TraceEvent{
+            slot, obs::TraceEventKind::kDecodeStart, 0, distinct});
+        completed = true;
+        completion_slot = slot;
+      }
+    }
+    cursor = slot + 1;
+  }
+  if (!completed) {
+    if (ctx.horizon > 0) emit_epochs_through(ctx.horizon - 1);
+    span.events.push_back(obs::TraceEvent{
+        ctx.horizon, obs::TraceEventKind::kIncomplete, 0, distinct});
+  }
+
+  // The replay must agree with the engine that produced the outcome; any
+  // divergence is an engine/walker bug, not a tracing artifact.
+  BDISK_CHECK(completed == outcome.completed);
+  if (completed) BDISK_CHECK(completion_slot == outcome.completion_slot);
+  return span;
+}
+
+}  // namespace bdisk::sim

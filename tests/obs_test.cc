@@ -327,6 +327,67 @@ TEST(SnapshotTest, StreamGeometryMatchesIntervalArithmetic) {
   EXPECT_EQ(NumField(final_line, "total_corrupt_detected"), 1.0);
 }
 
+TEST(SnapshotTest, EmptyTimelineStillRendersEveryIntervalAndAFinalLine) {
+  // A run that recorded nothing (e.g. a workload of zero requests) must
+  // still produce the full snapshot geometry with all-zero rows, not an
+  // empty or truncated stream — bdisk_top renders whatever exists.
+  Timeline timeline(16, 256);
+  const std::string stream = RenderSnapshotStream(timeline, nullptr);
+  std::size_t lines = 0;
+  for (char c : stream) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u + 256 / 16);  // header + one line per interval
+  const JsonValue final_line = FinalLineOf(stream);
+  EXPECT_EQ(NumField(final_line, "slot"), 256.0);
+  EXPECT_EQ(NumField(final_line, "attempts"), 0.0);
+  EXPECT_EQ(NumField(final_line, "completed"), 0.0);
+  // Zero attempts must not divide by zero.
+  EXPECT_EQ(NumField(final_line, "undecodable_rate"), 0.0);
+  EXPECT_EQ(NumField(final_line, "miss_rate"), 0.0);
+}
+
+TEST(SnapshotTest, IntervalLargerThanHorizonCollapsesToOneBucket) {
+  // interval_slots > horizon is legal: the whole run is one snapshot
+  // interval, and the single line doubles as the final line.
+  Timeline timeline(5000, 100);
+  EXPECT_EQ(timeline.bucket_count(), 1u);
+  timeline.RecordCompleted(/*completion_slot=*/42, /*latency=*/43,
+                           /*stall=*/0, /*met_deadline=*/true, /*errors=*/0,
+                           /*corrupt=*/0);
+  const std::string stream = RenderSnapshotStream(timeline, nullptr);
+  std::size_t lines = 0;
+  for (char c : stream) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);  // header + the one final line
+  const JsonValue final_line = FinalLineOf(stream);
+  EXPECT_EQ(final_line.Find("type")->string_value, "final");
+  EXPECT_EQ(NumField(final_line, "slot"), 100.0);  // Clamped to horizon.
+  EXPECT_EQ(NumField(final_line, "completed"), 1.0);
+}
+
+TEST(SnapshotTest, AllIncompleteRunStreamsConsistentlyAcrossEngines) {
+  // A channel that loses every slot: nothing ever decodes. The stream
+  // must still be well formed (no latency statistics to aggregate) and
+  // byte-identical across engines and pools.
+  const auto program = BuildTestProgram();
+  auto channel = faults::ParseChannelSpec("outage:period=64,start=0,len=64");
+  ASSERT_TRUE(channel.ok()) << channel.status();
+  const sim::Simulator simulator(program, **channel, kHorizon);
+
+  const std::string slot_serial = StreamFor(simulator, false, nullptr, 256);
+  const JsonValue final_line = FinalLineOf(slot_serial);
+  EXPECT_EQ(NumField(final_line, "completed"), 0.0);
+  EXPECT_EQ(NumField(final_line, "incomplete"),
+            static_cast<double>(4 * 64));
+  EXPECT_EQ(NumField(final_line, "undecodable_rate"), 1.0);
+  EXPECT_EQ(NumField(final_line, "miss_rate"), 1.0);
+  EXPECT_EQ(NumField(final_line, "mean_latency"), 0.0);
+
+  EXPECT_EQ(slot_serial, StreamFor(simulator, true, nullptr, 256))
+      << "event-serial stream differs on the all-incomplete run";
+  runtime::ThreadPool pool(3);
+  EXPECT_EQ(slot_serial, StreamFor(simulator, true, &pool, 256))
+      << "event-pooled stream differs on the all-incomplete run";
+}
+
 TEST(SnapshotTest, MergeConcatenatesShardLogs) {
   Timeline a(4, 64);
   Timeline b(4, 64);

@@ -42,7 +42,21 @@
 // (default: one program period). The stream is deterministic — identical
 // at any thread count and across both engines — and is what `bdisk_top`
 // tails. With --adaptive, the static and adaptive replays append their
-// own streams to the same file.
+// own streams to the same file; the global metric registry is reset
+// between the two, so each stream's registry line covers only its own
+// replay.
+//
+// --trace-out PATH writes a Chrome trace-event JSON document (open in
+// chrome://tracing or Perfetto; "-" = stdout) of the causal spans the
+// replays capture (obs/trace.h): --trace-sample 1/N (or plain N) samples
+// every N-th request by global index, anomalies (deadline misses,
+// undecodables, and — with --trace-stall S — stalls >= S slots) are
+// always traced, and --trace-flight K keeps only the last K spans per
+// shard, dumped when an anomaly fires. The trace covers the --channel
+// replay and, with --adaptive, both adaptive-experiment replays plus the
+// controller's per-interval swap decisions. Deterministic: byte-identical
+// at any thread count and across both engines. `bdisk_trace` filters and
+// summarizes the file.
 //
 // Example byte-domain spec:
 //   channel 196608
@@ -73,6 +87,7 @@
 #include "faults/channel_spec.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "pinwheel/composite_scheduler.h"
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
@@ -93,8 +108,18 @@ std::uint64_t g_metrics_interval = 0;  // 0 = one program period.
 // The first stream truncates the file; later runs (e.g. the two --adaptive
 // replays) append to it.
 bool g_metrics_append = false;
+const char* g_trace_out = nullptr;
+// Capture policy; tracing is active iff g_trace_out is set.
+bdisk::obs::TraceOptions g_trace_options;
+// Sinks accumulated by the replays, written as one Chrome trace at the
+// end of Plan (one process lane group per replay).
+std::vector<std::pair<std::string, std::unique_ptr<bdisk::obs::TraceSink>>>
+    g_trace_tracks;
 
-// Streams `timeline` (plus the global registry) to --metrics-out.
+// Streams `timeline` (plus the global registry) to --metrics-out, then
+// resets the registry so the next stream's registry line covers only its
+// own run — without this the phase timers of an earlier replay (e.g. the
+// static half of --adaptive) bleed into every later stream.
 int EmitMetricsStream(const bdisk::obs::Timeline& timeline) {
   auto status = bdisk::obs::WriteSnapshotStream(
       timeline, &bdisk::obs::GlobalRegistry(), g_metrics_out,
@@ -105,6 +130,29 @@ int EmitMetricsStream(const bdisk::obs::Timeline& timeline) {
     return 1;
   }
   g_metrics_append = true;
+  bdisk::obs::GlobalRegistry().Reset();
+  return 0;
+}
+
+// Writes the accumulated trace tracks to --trace-out as one Chrome
+// trace-event JSON document.
+int EmitTrace() {
+  if (g_trace_out == nullptr) return 0;
+  std::vector<bdisk::obs::TraceTrack> tracks;
+  for (const auto& [label, sink] : g_trace_tracks) {
+    tracks.push_back({sink.get(), label});
+  }
+  std::vector<std::pair<std::string, std::string>> metadata;
+  metadata.emplace_back("engine", g_evented_engine ? "event" : "slot");
+  if (g_channel != nullptr) {
+    metadata.emplace_back("channel", g_channel->Describe());
+  }
+  auto status = bdisk::obs::WriteChromeTrace(tracks, metadata, g_trace_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace output failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -185,10 +233,16 @@ int ReplayChannel(const BroadcastProgram& planned) {
         g_metrics_interval > 0 ? g_metrics_interval : planned.period();
     timeline = std::make_unique<bdisk::obs::Timeline>(interval, horizon);
   }
+  std::unique_ptr<bdisk::obs::TraceSink> trace;
+  if (g_trace_out != nullptr) {
+    trace = std::make_unique<bdisk::obs::TraceSink>(g_trace_options);
+  }
   auto metrics =
       g_evented_engine
-          ? simulator.RunWorkloadEvented(config, g_pool, timeline.get())
-          : simulator.RunWorkload(config, g_pool, timeline.get());
+          ? simulator.RunWorkloadEvented(config, g_pool, timeline.get(),
+                                         trace.get())
+          : simulator.RunWorkload(config, g_pool, timeline.get(),
+                                  trace.get());
   if (!metrics.ok()) {
     std::fprintf(stderr, "channel replay failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -197,6 +251,9 @@ int ReplayChannel(const BroadcastProgram& planned) {
   if (timeline != nullptr) {
     const int rc = EmitMetricsStream(*timeline);
     if (rc != 0) return rc;
+  }
+  if (trace != nullptr) {
+    g_trace_tracks.emplace_back("channel replay", std::move(trace));
   }
   std::printf("\nchannel replay (%s engine): %s over %llu slots "
               "(%llu faulty), %llu requests/file, workload seed %llu\n",
@@ -236,21 +293,34 @@ int ReplayAdaptive(const BroadcastProgram& planned) {
     snapshot_interval =
         g_metrics_interval > 0 ? g_metrics_interval : planned.period();
   }
+  // Streams are emitted per replay through the experiment's callback, so
+  // the registry reset in EmitMetricsStream lands *between* the static
+  // and adaptive runs — each stream's registry line is its own run's.
+  const auto on_replay =
+      [](const bdisk::obs::Timeline& timeline, bool) -> bdisk::Status {
+    if (EmitMetricsStream(timeline) != 0) {
+      return bdisk::Status::Internal("metrics stream failed");
+    }
+    return bdisk::Status::OK();
+  };
+  const bdisk::obs::TraceOptions* trace_options =
+      g_trace_out != nullptr ? &g_trace_options : nullptr;
   auto replay = bdisk::adaptive::RunAdaptiveExperiment(
       population, workload, interval, {}, /*loss_probability=*/0.02,
-      /*fault_seed=*/99, g_pool, &planned, g_channel, snapshot_interval);
+      /*fault_seed=*/99, g_pool, &planned, g_channel, snapshot_interval,
+      trace_options, on_replay);
   if (!replay.ok()) {
     std::fprintf(stderr, "adaptive replay failed: %s\n",
                  replay.status().ToString().c_str());
     return 1;
   }
-  if (replay->static_timeline != nullptr) {
-    const int rc = EmitMetricsStream(*replay->static_timeline);
-    if (rc != 0) return rc;
+  if (replay->static_trace != nullptr) {
+    g_trace_tracks.emplace_back("static replay",
+                                std::move(replay->static_trace));
   }
-  if (replay->adaptive_timeline != nullptr) {
-    const int rc = EmitMetricsStream(*replay->adaptive_timeline);
-    if (rc != 0) return rc;
+  if (replay->adaptive_trace != nullptr) {
+    g_trace_tracks.emplace_back("adaptive replay",
+                                std::move(replay->adaptive_trace));
   }
   std::printf("\nadaptive replay: Zipf(%.2f) demand over %llu slots, "
               "ranking reversed at slot %llu, %llu requests, "
@@ -307,7 +377,11 @@ int Plan(const std::string& text, bool adaptive) {
       const int rc = ReplayChannel(choice->build.program);
       if (rc != 0) return rc;
     }
-    return adaptive ? ReplayAdaptive(choice->build.program) : 0;
+    if (adaptive) {
+      const int rc = ReplayAdaptive(choice->build.program);
+      if (rc != 0) return rc;
+    }
+    return EmitTrace();
   }
 
   std::printf("slot-domain workload: %zu generalized files\n",
@@ -323,7 +397,11 @@ int Plan(const std::string& text, bool adaptive) {
     const int rc = ReplayChannel(result->program);
     if (rc != 0) return rc;
   }
-  return adaptive ? ReplayAdaptive(result->program) : 0;
+  if (adaptive) {
+    const int rc = ReplayAdaptive(result->program);
+    if (rc != 0) return rc;
+  }
+  return EmitTrace();
 }
 
 }  // namespace
@@ -344,13 +422,61 @@ int main(int argc, char** argv) {
                                                     "metrics-out");
   const char* metrics_interval_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "metrics-interval");
+  g_trace_out = bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-out");
+  const char* trace_sample_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-sample");
+  const char* trace_stall_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-stall");
+  const char* trace_flight_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-flight");
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--adaptive] [--channel SPEC] "
                  "[--engine slot|event] [--requests N] [--seed S] "
                  "[--metrics-out PATH] [--metrics-interval N] "
-                 "<spec-file | ->\n",
+                 "[--trace-out PATH] [--trace-sample 1/N] [--trace-stall S] "
+                 "[--trace-flight K] <spec-file | ->\n",
                  argv[0]);
+    return 2;
+  }
+  if (trace_sample_token != nullptr) {
+    // Accepted as "1/N" (the sampling-rate reading) or plain "N".
+    std::string token(trace_sample_token);
+    if (token.rfind("1/", 0) == 0) token = token.substr(2);
+    if (!ParseUint64Token(token.c_str(), &g_trace_options.sample_every) ||
+        g_trace_options.sample_every == 0) {
+      std::fprintf(stderr, "error: --trace-sample must be 1/N or N with "
+                   "positive N, got '%s'\n", trace_sample_token);
+      return 2;
+    }
+  }
+  if (trace_stall_token != nullptr &&
+      (!ParseUint64Token(trace_stall_token,
+                         &g_trace_options.stall_threshold) ||
+       g_trace_options.stall_threshold == 0)) {
+    std::fprintf(stderr, "error: --trace-stall must be a positive integer, "
+                 "got '%s'\n", trace_stall_token);
+    return 2;
+  }
+  if (trace_flight_token != nullptr &&
+      (!ParseUint64Token(trace_flight_token,
+                         &g_trace_options.flight_recorder_depth) ||
+       g_trace_options.flight_recorder_depth == 0)) {
+    std::fprintf(stderr, "error: --trace-flight must be a positive integer, "
+                 "got '%s'\n", trace_flight_token);
+    return 2;
+  }
+  if (g_trace_out == nullptr &&
+      (trace_sample_token != nullptr || trace_stall_token != nullptr ||
+       trace_flight_token != nullptr)) {
+    std::fprintf(stderr, "error: --trace-sample/--trace-stall/--trace-flight "
+                 "require --trace-out\n");
+    return 2;
+  }
+  if (g_trace_out != nullptr && channel_spec == nullptr && !adaptive) {
+    std::fprintf(stderr,
+                 "error: --trace-out requires --channel or --adaptive "
+                 "(nothing to trace otherwise)\n");
     return 2;
   }
   if (metrics_interval_token != nullptr) {

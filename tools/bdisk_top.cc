@@ -13,8 +13,11 @@
 // Usage:
 //   bdisk_top [--follow] [--rows N] stream.jsonl
 //
-// --follow re-reads the file every 500 ms and redraws in place (ANSI),
-// tailing a run that is still appending; Ctrl-C to stop. --rows N limits
+// --follow polls the file every 500 ms and redraws in place (ANSI),
+// tailing a run that is still appending; only the bytes appended since
+// the previous poll are parsed, and a truncated or replaced file (a new
+// run re-creating it) restarts the tail from byte zero. Ctrl-C to stop.
+// --rows N limits
 // the table to the last N snapshot rows (default 20; 0 = all). A stream
 // holding several runs (e.g. --adaptive appends static + adaptive
 // replays) renders the last run, with a header count of the others.
@@ -50,38 +53,74 @@ struct Stream {
   std::size_t bad_lines = 0;
 };
 
-// Parses the stream, keeping only the last run's rows (a file may hold
-// several appended runs).
-Stream ParseStream(std::istream& in) {
-  Stream s;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto parsed = ParseJson(line);
-    if (!parsed.ok() || !parsed->is_object()) {
-      ++s.bad_lines;
-      continue;
-    }
-    const JsonValue* type = parsed->Find("type");
-    if (type == nullptr || !type->is_string()) {
-      ++s.bad_lines;
-      continue;
-    }
-    if (type->string_value == "header") {
-      ++s.runs;
-      s.header = std::move(*parsed);
-      s.rows.clear();
-    } else if (type->string_value == "snapshot" ||
-               type->string_value == "final") {
-      s.rows.push_back(std::move(*parsed));
-    } else if (type->string_value == "registry") {
-      s.registry = std::move(*parsed);
-      s.has_registry = true;
-    } else {
-      ++s.bad_lines;
-    }
+// Folds one stream line into the state, keeping only the last run's rows
+// (a file may hold several appended runs).
+void FoldLine(Stream* s, const std::string& line) {
+  if (line.empty()) return;
+  auto parsed = ParseJson(line);
+  if (!parsed.ok() || !parsed->is_object()) {
+    ++s->bad_lines;
+    return;
   }
-  return s;
+  const JsonValue* type = parsed->Find("type");
+  if (type == nullptr || !type->is_string()) {
+    ++s->bad_lines;
+    return;
+  }
+  if (type->string_value == "header") {
+    ++s->runs;
+    s->header = std::move(*parsed);
+    s->rows.clear();
+  } else if (type->string_value == "snapshot" ||
+             type->string_value == "final") {
+    s->rows.push_back(std::move(*parsed));
+  } else if (type->string_value == "registry") {
+    s->registry = std::move(*parsed);
+    s->has_registry = true;
+  } else {
+    ++s->bad_lines;
+  }
+}
+
+// Incremental tail state. --follow polls every 500 ms, and re-parsing the
+// whole stream on every tick makes the dashboard quadratic in run length;
+// the tailer instead remembers how many bytes it has folded and parses
+// only what the producer appended since. A trailing partial line (the
+// producer mid-write) is buffered until its newline arrives.
+struct Tail {
+  std::uint64_t offset = 0;  // Bytes of the file already consumed.
+  std::string pending;       // Incomplete trailing line.
+  Stream stream;
+};
+
+// Folds bytes appended to `path` since the last poll into the tail state.
+// A file smaller than the consumed offset means it was truncated or
+// replaced (e.g. a fresh run re-created it): the tail restarts from byte
+// zero. Returns false when the file cannot be opened.
+bool Poll(Tail* t, const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) return false;
+  const std::uint64_t size = static_cast<std::uint64_t>(end);
+  if (size < t->offset) *t = Tail{};
+  if (size == t->offset) return true;
+  in.seekg(static_cast<std::streamoff>(t->offset));
+  std::string buf(static_cast<std::size_t>(size - t->offset), '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  buf.resize(static_cast<std::size_t>(in.gcount()));
+  t->offset += buf.size();
+  t->pending += buf;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = t->pending.find('\n', start);
+    if (nl == std::string::npos) break;
+    FoldLine(&t->stream, t->pending.substr(start, nl - start));
+    start = nl + 1;
+  }
+  t->pending.erase(0, start);
+  return true;
 }
 
 void RenderRegistryFooter(const JsonValue& registry) {
@@ -192,20 +231,25 @@ int main(int argc, char** argv) {
   }
   const char* path = argv[1];
 
+  Tail tail;
   for (;;) {
-    std::ifstream in(path);
-    if (!in && !follow) {
+    const bool opened = Poll(&tail, path);
+    if (!opened && !follow) {
       std::fprintf(stderr, "error: cannot open '%s'\n", path);
       return 1;
+    }
+    if (!follow && !tail.pending.empty()) {
+      // No trailing newline: fold the remainder as the last line.
+      FoldLine(&tail.stream, tail.pending);
+      tail.pending.clear();
     }
     if (follow) {
       // Home + clear-to-end redraw keeps the table in place while the
       // producer appends.
       std::printf("\033[H\033[J");
     }
-    if (in) {
-      Stream s = ParseStream(in);
-      Render(s, static_cast<std::size_t>(max_rows), path);
+    if (opened) {
+      Render(tail.stream, static_cast<std::size_t>(max_rows), path);
     } else {
       std::printf("bdisk_top: waiting for '%s'...\n", path);
     }
