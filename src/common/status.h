@@ -35,6 +35,8 @@ enum class StatusCode : std::uint8_t {
   kInternal = 6,
   /// The operation is not implemented for the given inputs.
   kNotImplemented = 7,
+  /// A storage-device operation failed (errno, short transfer, power cut).
+  kIoError = 8,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Invalid argument").
@@ -77,6 +79,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
   /// @}
 
   /// True iff this status represents success.
@@ -104,6 +109,7 @@ class Status {
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
   /// @}
 
   /// "OK" or "<Code>: <message>".

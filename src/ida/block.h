@@ -92,6 +92,14 @@ inline void StampChecksum(Block* block) {
   block->header.checksum = BlockChecksum(*block);
 }
 
+/// \brief Stamps every block of one dispersal — the canonical
+/// store-build-time step shared by the static server, the versioned
+/// server, and the persistent block store, so "a stamped dispersal" means
+/// the same thing at every site.
+inline void StampChecksums(std::vector<Block>* blocks) {
+  for (Block& block : *blocks) StampChecksum(&block);
+}
+
 /// \brief Verdict of VerifyChecksum.
 enum class ChecksumState : std::uint8_t {
   /// checksum == 0: the block was never stamped; nothing to verify.

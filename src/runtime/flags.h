@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "common/status.h"
 
 namespace bdisk::runtime {
 
@@ -31,6 +34,49 @@ inline bool ParseUint64Token(const char* token, std::uint64_t* out) {
   if (end == token || *end != '\0' || errno == ERANGE) return false;
   *out = static_cast<std::uint64_t>(value);
   return true;
+}
+
+/// \brief Strict byte-size parse: a decimal count with an optional binary
+/// suffix (`B`, `KiB`, `MiB`, `GiB` — exact spelling, no space). Used by
+/// `--store-bytes`-style flags so capacities read as "256MiB" instead of
+/// nine-digit literals. Rejects anything else: sign, whitespace, decimal
+/// fractions, SI suffixes (`KB`), and products that overflow 64 bits.
+inline bool ParseByteSizeToken(const char* token, std::uint64_t* out) {
+  if (token == nullptr || token[0] < '0' || token[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(token, &end, 10);
+  if (end == token || errno == ERANGE) return false;
+  unsigned shift = 0;
+  if (*end != '\0') {
+    if (std::strcmp(end, "B") == 0) {
+      shift = 0;
+    } else if (std::strcmp(end, "KiB") == 0) {
+      shift = 10;
+    } else if (std::strcmp(end, "MiB") == 0) {
+      shift = 20;
+    } else if (std::strcmp(end, "GiB") == 0) {
+      shift = 30;
+    } else {
+      return false;
+    }
+  }
+  if (shift != 0 && value > (~0ull >> shift)) return false;
+  *out = static_cast<std::uint64_t>(value) << shift;
+  return true;
+}
+
+/// \brief ParseByteSizeToken with a typed error naming the offending token
+/// (channel-spec error style) for callers that report to users.
+inline Result<std::uint64_t> ParseByteSize(const std::string& token) {
+  std::uint64_t value = 0;
+  if (!ParseByteSizeToken(token.c_str(), &value)) {
+    return Status::InvalidArgument(
+        "byte size: '" + token +
+        "' is not a decimal count with an optional B, KiB, MiB, or GiB "
+        "suffix");
+  }
+  return value;
 }
 
 /// Largest accepted thread count — far above any real machine, low enough
@@ -115,6 +161,17 @@ inline std::uint64_t UintFlag(int argc, char** argv, const char* name,
                               std::uint64_t fallback) {
   std::uint64_t value = 0;
   if (!ParseUint64Token(FlagValueToken(argc, argv, name), &value)) {
+    return fallback;
+  }
+  return value;
+}
+
+/// \brief Parses `--<name> SIZE` / `--<name>=SIZE` as a byte size
+/// (ParseByteSizeToken); returns `fallback` when absent or malformed.
+inline std::uint64_t ByteSizeFlag(int argc, char** argv, const char* name,
+                                  std::uint64_t fallback) {
+  std::uint64_t value = 0;
+  if (!ParseByteSizeToken(FlagValueToken(argc, argv, name), &value)) {
     return fallback;
   }
   return value;

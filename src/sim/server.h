@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "ida/aida.h"
 #include "sim/epoch.h"
+#include "store/block_store.h"
 
 namespace bdisk::sim {
 
@@ -49,8 +50,27 @@ class BroadcastServer {
       const std::vector<std::vector<std::uint8_t>>& contents,
       std::size_t block_size);
 
+  /// Disk-backed variant: the dispersed blocks are committed to `store`
+  /// (one staging transaction, one commit) instead of held in memory, and
+  /// transmissions are served through the store's checksum-verified read
+  /// path. `store` is not owned and must outlive the server. Use
+  /// FetchTransmission — the infallible TransmissionAt is reserved for
+  /// in-memory servers.
+  static Result<BroadcastServer> CreateDiskBacked(
+      EpochSchedule schedule,
+      const std::vector<std::vector<std::uint8_t>>& contents,
+      std::size_t block_size, store::BlockStore* store);
+
   /// The coded block transmitted in slot t (nullopt for idle slots).
+  /// In-memory servers only (CHECKs on disk-backed ones, whose reads can
+  /// fail and must not be collapsed).
   std::optional<ida::Block> TransmissionAt(std::uint64_t t) const;
+
+  /// Fallible variant serving both modes; disk-backed reads surface
+  /// device and checksum failures as typed statuses.
+  Result<std::optional<ida::Block>> FetchTransmission(std::uint64_t t) const;
+
+  bool disk_backed() const { return store_ != nullptr; }
 
   /// The program of the first epoch (the file table is identical across
   /// epochs; single-program servers have exactly one epoch).
@@ -77,7 +97,9 @@ class BroadcastServer {
   std::vector<ida::Dispersal> engines_;
   // coded_[f][k] = k-th dispersed block of file f (k < files()[f].n).
   // Epoch-invariant: dispersal depends only on geometry and contents.
+  // Empty for disk-backed servers, whose blocks live in *store_.
   std::vector<std::vector<ida::Block>> coded_;
+  store::BlockStore* store_ = nullptr;
 };
 
 }  // namespace bdisk::sim

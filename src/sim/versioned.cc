@@ -58,16 +58,36 @@ Result<std::optional<ida::Block>> VersionedBroadcastServer::TransmissionAt(
   const auto tx = program_.TransmissionAt(slot);
   if (!tx.has_value()) return std::optional<ida::Block>();
   const std::uint64_t version = VersionAt(tx->file, slot);
+  const auto file_id = static_cast<ida::FileId>(tx->file);
+  if (options_.store != nullptr) {
+    // Disk-backed: on first sight of a (file, version), disperse and
+    // persist it (a commit per version exercises the two-generation swap
+    // under natural update churn); every transmission is served from
+    // disk — the memory cache stays empty.
+    if (options_.store->FindEntry(file_id, version) == nullptr) {
+      BDISK_ASSIGN_OR_RETURN(
+          std::vector<ida::Block> blocks,
+          engines_[tx->file].Disperse(file_id, ContentsOf(tx->file, version),
+                                      version));
+      ida::StampChecksums(&blocks);
+      BDISK_RETURN_NOT_OK(options_.store->StageFile(blocks));
+      BDISK_RETURN_NOT_OK(options_.store->Commit());
+    }
+    BDISK_ASSIGN_OR_RETURN(
+        ida::Block block,
+        options_.store->ReadCodedBlock(file_id, version, tx->block_index));
+    return std::optional<ida::Block>(std::move(block));
+  }
   const auto key = std::make_pair(tx->file, version);
   auto it = coded_.find(key);
   if (it == coded_.end()) {
     BDISK_ASSIGN_OR_RETURN(
         std::vector<ida::Block> blocks,
-        engines_[tx->file].Disperse(static_cast<ida::FileId>(tx->file),
-                                    ContentsOf(tx->file, version), version));
+        engines_[tx->file].Disperse(file_id, ContentsOf(tx->file, version),
+                                    version));
     // Stamped once per (file, version) at dispersal time, like the static
     // server's store.
-    for (ida::Block& b : blocks) ida::StampChecksum(&b);
+    ida::StampChecksums(&blocks);
     it = coded_.emplace(key, std::move(blocks)).first;
   }
   return std::optional<ida::Block>(it->second[tx->block_index]);

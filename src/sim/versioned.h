@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "ida/dispersal.h"
 #include "sim/fault_model.h"
+#include "store/block_store.h"
 
 namespace bdisk::sim {
 
@@ -42,6 +43,12 @@ struct VersionedServerOptions {
   std::vector<std::uint64_t> update_interval_slots;
   /// Seed for the deterministic per-version synthetic contents.
   std::uint64_t content_seed = 1;
+  /// Optional persistent backing (not owned; must outlive the server).
+  /// When set, every (file, version) dispersal is committed to the store
+  /// on first transmission — one generation per version, exercising the
+  /// crash-safe swap under natural update churn — and transmissions are
+  /// served from disk through the checksum-verified read path.
+  store::BlockStore* store = nullptr;
 };
 
 /// \brief Broadcast server whose files are updated over time; every

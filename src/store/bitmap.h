@@ -1,0 +1,80 @@
+/// \file bitmap.h
+/// \brief Free-space bitmap over a block device's sectors.
+///
+/// The bitmap is DERIVED state: it is rebuilt from the committed catalog
+/// at Open and after every Commit (superblocks + catalog extent + every
+/// entry's extents), never persisted. Bitmap/catalog divergence is
+/// therefore impossible by construction — the catalog is the single
+/// source of truth, exactly as the epoch schedule is the single source of
+/// truth for the broadcast program.
+
+#ifndef BDISK_STORE_BITMAP_H_
+#define BDISK_STORE_BITMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bdisk::store {
+
+/// \brief Bitmap over `size` sectors; a set bit means "in use".
+class FreeBitmap {
+ public:
+  explicit FreeBitmap(std::uint64_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::uint64_t size() const { return size_; }
+
+  bool Test(std::uint64_t index) const {
+    BDISK_CHECK(index < size_);
+    return (words_[index >> 6] >> (index & 63)) & 1;
+  }
+
+  void Set(std::uint64_t index) {
+    BDISK_CHECK(index < size_);
+    words_[index >> 6] |= 1ull << (index & 63);
+  }
+
+  void Clear(std::uint64_t index) {
+    BDISK_CHECK(index < size_);
+    words_[index >> 6] &= ~(1ull << (index & 63));
+  }
+
+  /// Number of free (unset) sectors.
+  std::uint64_t FreeCount() const {
+    std::uint64_t used = 0;
+    for (std::uint64_t w : words_) used += static_cast<std::uint64_t>(
+        __builtin_popcountll(w));
+    return size_ - used;
+  }
+
+  /// First-fit: finds `run` contiguous free sectors, marks them used, and
+  /// returns the first index. nullopt if no such run exists.
+  std::optional<std::uint64_t> AllocateRun(std::uint64_t run) {
+    if (run == 0 || run > size_) return std::nullopt;
+    std::uint64_t start = 0;
+    std::uint64_t have = 0;
+    for (std::uint64_t i = 0; i < size_; ++i) {
+      if (Test(i)) {
+        start = i + 1;
+        have = 0;
+        continue;
+      }
+      if (++have == run) {
+        for (std::uint64_t j = start; j <= i; ++j) Set(j);
+        return start;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::uint64_t size_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bdisk::store
+
+#endif  // BDISK_STORE_BITMAP_H_

@@ -1,0 +1,132 @@
+/// \file block_device.h
+/// \brief Fixed-geometry block devices: the bottom of the store plane.
+///
+/// A BlockDevice is an array of `block_count` sectors of `block_size`
+/// bytes, addressed by index, with whole-sector reads and writes and an
+/// explicit durability barrier (Sync). Everything above — the free-space
+/// bitmap, the CRC-stamped catalog, the two-version swap — is written in
+/// terms of this interface, which is what makes every failure mode
+/// injectable: FaultingBlockDevice (fault_device.h) wraps any device and
+/// fails chosen operations with chosen errors, so the recovery sweep can
+/// kill the store at every write boundary of a real workload.
+///
+/// Two implementations ship:
+///  * FileBlockDevice — a fixed-size file accessed via pread/pwrite.
+///    Partial transfers from the kernel are retried to completion (POSIX
+///    permits them on signals and large requests), so a short write that
+///    *reports* as short can only come from fault injection — real
+///    devices either complete the sector or fail with errno.
+///  * MemBlockDevice — an in-memory array for hermetic unit tests.
+///
+/// The write-atomicity model the store's crash-safety proof relies on:
+/// a WriteBlock either persists the whole sector (it returned OK) or is
+/// governed by the failure it returned. Torn in-flight sectors at a power
+/// cut are modeled explicitly by the fault layer, never assumed away.
+
+#ifndef BDISK_STORE_BLOCK_DEVICE_H_
+#define BDISK_STORE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/io_result.h"
+
+namespace bdisk::store {
+
+/// \brief Abstract fixed-geometry block device.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Sector size in bytes (constant over the device's lifetime).
+  virtual std::size_t block_size() const = 0;
+  /// Number of sectors.
+  virtual std::uint64_t block_count() const = 0;
+
+  /// Reads sector `index` into `out` (block_size() bytes).
+  virtual IoResult ReadBlock(std::uint64_t index, void* out) = 0;
+  /// Writes `data` (block_size() bytes) to sector `index`.
+  virtual IoResult WriteBlock(std::uint64_t index, const void* data) = 0;
+  /// Durability barrier: all previously OK writes are on stable storage
+  /// when Sync returns OK.
+  virtual IoResult Sync() = 0;
+};
+
+/// \brief A fixed-size block file accessed via pread/pwrite.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Creates (or truncates to size) `path` as a device of
+  /// `block_count * block_size` bytes.
+  static Result<std::unique_ptr<FileBlockDevice>> Create(
+      const std::string& path, std::size_t block_size,
+      std::uint64_t block_count);
+
+  /// Opens an existing device file. The file size must be a non-zero
+  /// multiple of `block_size`; the block count is derived from it.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, std::size_t block_size);
+
+  ~FileBlockDevice() override;
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  std::size_t block_size() const override { return block_size_; }
+  std::uint64_t block_count() const override { return block_count_; }
+
+  IoResult ReadBlock(std::uint64_t index, void* out) override;
+  IoResult WriteBlock(std::uint64_t index, const void* data) override;
+  IoResult Sync() override;
+
+ private:
+  FileBlockDevice(int fd, std::size_t block_size, std::uint64_t block_count)
+      : fd_(fd), block_size_(block_size), block_count_(block_count) {}
+
+  int fd_;
+  std::size_t block_size_;
+  std::uint64_t block_count_;
+};
+
+/// \brief In-memory device for hermetic tests. The backing buffer may be
+/// shared between instances (via Attach) to model reopening a device that
+/// survived a simulated crash without touching the filesystem.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  using Buffer = std::vector<std::uint8_t>;
+
+  MemBlockDevice(std::size_t block_size, std::uint64_t block_count)
+      : buffer_(std::make_shared<Buffer>(block_size * block_count, 0)),
+        block_size_(block_size), block_count_(block_count) {}
+
+  /// A second device over the same bytes (the "after reboot" view).
+  static std::unique_ptr<MemBlockDevice> Attach(
+      std::shared_ptr<Buffer> buffer, std::size_t block_size) {
+    return std::unique_ptr<MemBlockDevice>(
+        new MemBlockDevice(std::move(buffer), block_size));
+  }
+
+  std::shared_ptr<Buffer> buffer() const { return buffer_; }
+
+  std::size_t block_size() const override { return block_size_; }
+  std::uint64_t block_count() const override { return block_count_; }
+
+  IoResult ReadBlock(std::uint64_t index, void* out) override;
+  IoResult WriteBlock(std::uint64_t index, const void* data) override;
+  IoResult Sync() override { return IoResult::Ok(); }
+
+ private:
+  MemBlockDevice(std::shared_ptr<Buffer> buffer, std::size_t block_size)
+      : buffer_(std::move(buffer)), block_size_(block_size),
+        block_count_(buffer_->size() / block_size) {}
+
+  std::shared_ptr<Buffer> buffer_;
+  std::size_t block_size_;
+  std::uint64_t block_count_;
+};
+
+}  // namespace bdisk::store
+
+#endif  // BDISK_STORE_BLOCK_DEVICE_H_

@@ -1,0 +1,163 @@
+/// \file fault_device.h
+/// \brief Deterministic fault injection for block devices.
+///
+/// FaultingBlockDevice layers over any BlockDevice and fails chosen
+/// operations with chosen typed errors — the same discipline the fault
+/// subsystem (src/faults/) brought to the wire, applied to durable
+/// storage: every failure a disk can exhibit is injectable, enumerable,
+/// and replayable from a textual spec. One grammar (mirroring
+/// faults/channel_spec.h) is shared by the tests, the crash-sweep
+/// harness, and the benches, so a device fault named anywhere names the
+/// same realization.
+///
+/// Grammar (whitespace-free):
+///
+///   spec    := model ( '+' model )*
+///   model   := name ( ':' kv ( ',' kv )* )?
+///   kv      := key '=' value
+///
+/// Models and their keys (defaults in parentheses):
+///
+///   none                             no injected faults
+///   errno     op (write), at (0), count (1), err (EIO)
+///             the at-th .. (at+count-1)-th operation of kind `op`
+///             (read | write | sync) fails with the named errno and has
+///             no side effect. err ∈ {EIO, ENOSPC, EACCES, EBADF, ENXIO}.
+///   short     at (0), bytes (half a block)
+///             the at-th write persists only its first `bytes` bytes and
+///             reports a typed short write.
+///   torn      at (0), bytes (half a block), seed (0)
+///             the at-th write persists its first `bytes` bytes; the tail
+///             of the sector keeps its OLD contents (seed=0) or is filled
+///             with seeded garbage (seed!=0) — and the write REPORTS
+///             SUCCESS. This is the lying disk: only checksums can catch
+///             it later.
+///   powercut  at (0), torn (absent)
+///             power dies at write boundary `at`: writes with ordinal
+///             < at succeed, the write with ordinal `at` and every later
+///             operation (reads and syncs included) fail with a typed
+///             power-cut error. With torn=B, the in-flight write at the
+///             boundary additionally persists its first B bytes before
+///             the device dies — the torn-sector-at-power-cut case.
+///
+/// Ordinals count operations of the matching kind from device creation,
+/// 0-based, including operations that were themselves failed by
+/// injection. The crash-sweep harness runs the workload once over a
+/// counting pass-through to learn the total write count W, then replays
+/// it W+1 times under `powercut:at=k` for k = 0..W.
+///
+/// Examples:
+///
+///   powercut:at=7
+///   powercut:at=7,torn=256
+///   errno:op=write,at=3,err=ENOSPC
+///   torn:at=2,bytes=100,seed=9+errno:op=sync,at=0
+///
+/// Parse errors name the offending token.
+
+#ifndef BDISK_STORE_FAULT_DEVICE_H_
+#define BDISK_STORE_FAULT_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/block_device.h"
+
+namespace bdisk::store {
+
+/// \brief One errno injection: ops [at, at+count) of kind `op` fail.
+struct ErrnoFault {
+  IoOp op = IoOp::kWrite;
+  std::uint64_t at = 0;
+  std::uint64_t count = 1;
+  int err = 0;  // EIO by default (filled in by the parser/ctor users).
+};
+
+/// \brief One short write: write ordinal `at` persists only `bytes`.
+struct ShortWriteFault {
+  std::uint64_t at = 0;
+  /// kHalfBlock = half the device block (resolved at injection time).
+  static constexpr std::uint64_t kHalfBlock = ~0ull;
+  std::uint64_t bytes = kHalfBlock;
+};
+
+/// \brief One silent torn write: write ordinal `at` persists `bytes` new
+/// bytes, the sector tail keeps old contents (seed 0) or seeded garbage,
+/// and the operation reports success.
+struct TornWriteFault {
+  std::uint64_t at = 0;
+  std::uint64_t bytes = ShortWriteFault::kHalfBlock;
+  std::uint64_t seed = 0;
+};
+
+/// \brief Power cut at a write boundary.
+struct PowerCutFault {
+  std::uint64_t at = 0;
+  /// Bytes of the in-flight write persisted before death (nullopt: none).
+  std::optional<std::uint64_t> torn_bytes;
+};
+
+/// \brief Parsed device fault specification.
+struct DeviceFaultConfig {
+  std::vector<ErrnoFault> errnos;
+  std::vector<ShortWriteFault> shorts;
+  std::vector<TornWriteFault> torns;
+  std::optional<PowerCutFault> powercut;
+
+  /// Canonical re-rendering for logs and test names.
+  std::string Describe() const;
+};
+
+/// \brief Parses the grammar above. Fails with InvalidArgument naming the
+/// offending token on an unknown model, unknown key, malformed value, or
+/// unknown errno name.
+Result<DeviceFaultConfig> ParseDeviceFaultSpec(const std::string& spec);
+
+/// \brief A BlockDevice that injects the configured faults and otherwise
+/// forwards to the wrapped device.
+class FaultingBlockDevice final : public BlockDevice {
+ public:
+  FaultingBlockDevice(std::unique_ptr<BlockDevice> inner,
+                      DeviceFaultConfig config)
+      : inner_(std::move(inner)), config_(std::move(config)) {}
+
+  std::size_t block_size() const override { return inner_->block_size(); }
+  std::uint64_t block_count() const override { return inner_->block_count(); }
+
+  IoResult ReadBlock(std::uint64_t index, void* out) override;
+  IoResult WriteBlock(std::uint64_t index, const void* data) override;
+  IoResult Sync() override;
+
+  /// Operations attempted so far (ordinals already consumed). The sweep
+  /// uses writes_attempted() after a fault-free run to enumerate the
+  /// power-cut boundaries 0..W.
+  std::uint64_t writes_attempted() const { return writes_; }
+  std::uint64_t reads_attempted() const { return reads_; }
+  std::uint64_t syncs_attempted() const { return syncs_; }
+
+  /// True once an injected power cut has tripped.
+  bool dead() const { return dead_; }
+
+ private:
+  /// Errno injection matching op kind `op` at ordinal `ordinal`.
+  const ErrnoFault* MatchErrno(IoOp op, std::uint64_t ordinal) const;
+  /// Persists the first `bytes` of `data` into sector `index`, tail from
+  /// the old contents or seeded garbage.
+  IoResult WritePartial(std::uint64_t index, const void* data,
+                        std::uint64_t bytes, std::uint64_t garbage_seed);
+
+  std::unique_ptr<BlockDevice> inner_;
+  DeviceFaultConfig config_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t syncs_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace bdisk::store
+
+#endif  // BDISK_STORE_FAULT_DEVICE_H_

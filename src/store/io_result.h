@@ -1,0 +1,106 @@
+/// \file io_result.h
+/// \brief Thin typed I/O results for the block-device layer.
+///
+/// The device stack (block_device.h, fault_device.h) cannot afford — and
+/// must not hide — the full generality of Status: a pread that came up
+/// short, an injected EIO, and a power-cut are *different* failures, and
+/// the recovery sweep asserts on which one occurred. IoResult is the
+/// fz::result-style answer: a value-type of a few machine words carrying
+/// the error category, the operation that failed, the raw errno (when the
+/// OS produced one), the device block involved, and the byte count that
+/// actually transferred. No allocation, no message formatting on the hot
+/// path; ToStatus() renders the typed fields into a Status at the store's
+/// public API boundary, so no error is ever collapsed to a bool on the
+/// way up.
+
+#ifndef BDISK_STORE_IO_RESULT_H_
+#define BDISK_STORE_IO_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace bdisk::store {
+
+/// \brief What failed, mechanically.
+enum class IoError : std::uint8_t {
+  kOk = 0,
+  /// The OS call failed; IoResult::raw_errno holds errno.
+  kErrno,
+  /// A write persisted fewer bytes than requested (IoResult::bytes).
+  kShortWrite,
+  /// A read returned fewer bytes than requested (IoResult::bytes).
+  kShortRead,
+  /// The block index lies beyond the device's fixed size.
+  kOutOfRange,
+  /// Power was cut at an earlier write boundary; the device is dead and
+  /// every subsequent operation fails with this error.
+  kPowerCut,
+  /// Stored data failed its CRC-32C check (bit rot or a torn write).
+  kChecksumMismatch,
+  /// Persistent metadata (superblock / catalog) is structurally invalid.
+  kCorruptMeta,
+};
+
+/// \brief Which device operation was attempted.
+enum class IoOp : std::uint8_t {
+  kNone = 0,
+  kOpen,
+  kRead,
+  kWrite,
+  kSync,
+  kTruncate,
+};
+
+const char* IoErrorToString(IoError error);
+const char* IoOpToString(IoOp op);
+
+/// \brief Outcome of one device operation. Trivially copyable; a few
+/// machine words.
+struct IoResult {
+  IoError error = IoError::kOk;
+  IoOp op = IoOp::kNone;
+  /// errno of the failed OS call (0 when the failure is synthetic).
+  int raw_errno = 0;
+  /// Device block the operation addressed (kNoBlock for open/sync).
+  std::uint64_t block = kNoBlock;
+  /// Bytes actually transferred (meaningful for short reads/writes).
+  std::uint64_t bytes = 0;
+
+  static constexpr std::uint64_t kNoBlock = ~0ull;
+
+  /// True iff the operation succeeded.
+  explicit operator bool() const { return error == IoError::kOk; }
+  bool ok() const { return error == IoError::kOk; }
+
+  static IoResult Ok() { return IoResult{}; }
+  static IoResult Errno(IoOp op, int err,
+                        std::uint64_t block = kNoBlock) {
+    return IoResult{IoError::kErrno, op, err, block, 0};
+  }
+  static IoResult Short(IoOp op, std::uint64_t block, std::uint64_t bytes) {
+    return IoResult{op == IoOp::kRead ? IoError::kShortRead
+                                      : IoError::kShortWrite,
+                    op, 0, block, bytes};
+  }
+  static IoResult OutOfRange(IoOp op, std::uint64_t block) {
+    return IoResult{IoError::kOutOfRange, op, 0, block, 0};
+  }
+  static IoResult PowerCut(IoOp op, std::uint64_t block = kNoBlock) {
+    return IoResult{IoError::kPowerCut, op, 0, block, 0};
+  }
+
+  /// "write of block 17 failed: I/O error (errno 5 'Input/output error')".
+  std::string ToString() const;
+
+  /// Renders the typed fields into a Status for the store's Result<T>
+  /// boundary, preserving the category: checksum failures map to
+  /// kDataLoss (same as wire corruption), ENOSPC to kResourceExhausted,
+  /// everything else device-shaped to kIoError. OK maps to OK.
+  Status ToStatus(const std::string& context) const;
+};
+
+}  // namespace bdisk::store
+
+#endif  // BDISK_STORE_IO_RESULT_H_

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "runtime/flags.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
@@ -143,6 +144,64 @@ TEST(RngStreamTest, StreamRngReplaysIdentically) {
   Rng a = StreamRng(7, 123);
   Rng b = StreamRng(7, 123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(ByteSizeTest, ParsesPlainAndBinarySuffixes) {
+  const struct {
+    const char* token;
+    std::uint64_t expected;
+  } kCases[] = {
+      {"0", 0},
+      {"123", 123},
+      {"123B", 123},
+      {"4KiB", 4096},
+      {"64MiB", 64ull << 20},
+      {"2GiB", 2ull << 30},
+      {"16383GiB", 16383ull << 30},
+  };
+  for (const auto& c : kCases) {
+    std::uint64_t value = 0;
+    EXPECT_TRUE(ParseByteSizeToken(c.token, &value)) << c.token;
+    EXPECT_EQ(value, c.expected) << c.token;
+    const auto result = ParseByteSize(c.token);
+    ASSERT_TRUE(result.ok()) << c.token;
+    EXPECT_EQ(*result, c.expected) << c.token;
+  }
+}
+
+TEST(ByteSizeTest, RejectsMalformedInputNamingTheToken) {
+  const char* kBad[] = {
+      "",      "-1",    "1.5GiB", "12 KiB", "KiB",        "64MB",
+      "64KB",  "64kib", "64GiB ", "0x10",   "99999999999GiB",  // Overflows.
+      "18446744073709551616",                               // > 2^64-1.
+  };
+  for (const char* token : kBad) {
+    std::uint64_t value = 0;
+    EXPECT_FALSE(ParseByteSizeToken(token, &value)) << token;
+    const auto result = ParseByteSize(token);
+    ASSERT_FALSE(result.ok()) << token;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+    // The error names the offending token (channel-spec error style).
+    EXPECT_NE(result.status().message().find("'" + std::string(token) + "'"),
+              std::string::npos)
+        << result.status();
+  }
+  std::uint64_t value = 0;
+  EXPECT_FALSE(ParseByteSizeToken(nullptr, &value));
+}
+
+TEST(ByteSizeTest, ByteSizeFlagParsesAndFallsBack) {
+  const char* argv_ok[] = {"prog", "--store-bytes", "8MiB"};
+  EXPECT_EQ(ByteSizeFlag(3, const_cast<char**>(argv_ok), "store-bytes", 7),
+            8ull << 20);
+  const char* argv_eq[] = {"prog", "--cap-bytes=512KiB"};
+  EXPECT_EQ(ByteSizeFlag(2, const_cast<char**>(argv_eq), "cap-bytes", 7),
+            512ull << 10);
+  const char* argv_bad[] = {"prog", "--store-bytes", "8MB"};
+  EXPECT_EQ(ByteSizeFlag(3, const_cast<char**>(argv_bad), "store-bytes", 7),
+            7u);
+  EXPECT_EQ(ByteSizeFlag(1, const_cast<char**>(argv_ok), "store-bytes", 7),
+            7u);
 }
 
 }  // namespace

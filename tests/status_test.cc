@@ -25,6 +25,13 @@ TEST(StatusTest, NamedConstructorsSetCodes) {
   EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+}
+
+TEST(StatusTest, IoErrorRendersItsCode) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "I/O error");
+  EXPECT_EQ(Status::IoError("disk on fire").ToString(),
+            "I/O error: disk on fire");
 }
 
 TEST(StatusTest, MessagePreserved) {

@@ -1,0 +1,520 @@
+// Unit tests for the store plane: block devices, the typed IoResult error
+// path, the free-space bitmap, the device fault-injection grammar, and the
+// crash-safe BlockStore (format, recovery, staging, commit, typed
+// checksum rejection). The whole-workload power-cut enumeration lives in
+// store_crash_sweep_test.cc; the byte-identity scenario replay in
+// store_scenario_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ida/block.h"
+#include "store/bitmap.h"
+#include "store/block_device.h"
+#include "store/block_store.h"
+#include "store/fault_device.h"
+
+namespace bdisk::store {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+constexpr std::uint64_t kBlockCount = 256;
+
+// Deterministic stamped coded blocks for (file_id, version): n blocks of
+// `payload_bytes` each, payload a function of every index.
+std::vector<ida::Block> MakeBlocks(ida::FileId file_id, std::uint64_t version,
+                                   std::uint32_t m, std::uint32_t n,
+                                   std::size_t payload_bytes) {
+  std::vector<ida::Block> blocks(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    blocks[i].header.file_id = file_id;
+    blocks[i].header.block_index = i;
+    blocks[i].header.reconstruct_threshold = m;
+    blocks[i].header.total_blocks = n;
+    blocks[i].header.version = version;
+    blocks[i].payload.resize(payload_bytes);
+    for (std::size_t b = 0; b < payload_bytes; ++b) {
+      blocks[i].payload[b] = static_cast<std::uint8_t>(
+          file_id * 7 + version * 131 + i * 17 + b);
+    }
+  }
+  ida::StampChecksums(&blocks);
+  return blocks;
+}
+
+std::unique_ptr<MemBlockDevice> MakeMem() {
+  return std::make_unique<MemBlockDevice>(kBlockSize, kBlockCount);
+}
+
+// ---------------------------------------------------------------------------
+// IoResult
+// ---------------------------------------------------------------------------
+
+TEST(IoResultTest, OkIsOk) {
+  EXPECT_TRUE(IoResult::Ok().ok());
+  EXPECT_TRUE(static_cast<bool>(IoResult::Ok()));
+  EXPECT_TRUE(IoResult::Ok().ToStatus("ctx").ok());
+}
+
+TEST(IoResultTest, ToStringNamesOpAndBlock) {
+  const IoResult r = IoResult::Errno(IoOp::kWrite, EIO, 17);
+  EXPECT_FALSE(r.ok());
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("write"), std::string::npos) << s;
+  EXPECT_NE(s.find("17"), std::string::npos) << s;
+  EXPECT_NE(s.find("errno 5"), std::string::npos) << s;
+}
+
+TEST(IoResultTest, ToStatusPreservesCategory) {
+  EXPECT_TRUE(IoResult::Errno(IoOp::kWrite, EIO).ToStatus("x").IsIoError());
+  EXPECT_TRUE(IoResult::Errno(IoOp::kWrite, ENOSPC)
+                  .ToStatus("x")
+                  .IsResourceExhausted());
+  EXPECT_TRUE(IoResult::PowerCut(IoOp::kSync).ToStatus("x").IsIoError());
+  const IoResult rot{IoError::kChecksumMismatch, IoOp::kRead, 0, 3, 0};
+  EXPECT_TRUE(rot.ToStatus("x").IsDataLoss());
+}
+
+// ---------------------------------------------------------------------------
+// Devices
+// ---------------------------------------------------------------------------
+
+TEST(MemBlockDeviceTest, RoundTripsAndBoundsChecks) {
+  auto dev = MakeMem();
+  std::vector<std::uint8_t> in(kBlockSize, 0xAB), out(kBlockSize, 0);
+  ASSERT_TRUE(dev->WriteBlock(5, in.data()).ok());
+  ASSERT_TRUE(dev->ReadBlock(5, out.data()).ok());
+  EXPECT_EQ(in, out);
+  const IoResult r = dev->ReadBlock(kBlockCount, out.data());
+  EXPECT_EQ(r.error, IoError::kOutOfRange);
+  EXPECT_EQ(r.block, kBlockCount);
+}
+
+TEST(MemBlockDeviceTest, AttachSharesBytesAcrossReboot) {
+  auto dev = MakeMem();
+  std::vector<std::uint8_t> in(kBlockSize, 0x5C), out(kBlockSize, 0);
+  ASSERT_TRUE(dev->WriteBlock(9, in.data()).ok());
+  auto rebooted = MemBlockDevice::Attach(dev->buffer(), kBlockSize);
+  ASSERT_TRUE(rebooted->ReadBlock(9, out.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(FileBlockDeviceTest, CreateWriteReadReopen) {
+  const std::string path = ::testing::TempDir() + "/bdisk_store_dev_test";
+  {
+    auto dev = FileBlockDevice::Create(path, kBlockSize, 16);
+    ASSERT_TRUE(dev.ok()) << dev.status();
+    std::vector<std::uint8_t> in(kBlockSize);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::uint8_t>(i);
+    }
+    ASSERT_TRUE((*dev)->WriteBlock(3, in.data()).ok());
+    ASSERT_TRUE((*dev)->Sync().ok());
+  }
+  auto dev = FileBlockDevice::Open(path, kBlockSize);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  EXPECT_EQ((*dev)->block_count(), 16u);
+  std::vector<std::uint8_t> out(kBlockSize, 0);
+  ASSERT_TRUE((*dev)->ReadBlock(3, out.data()).ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::uint8_t>(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileBlockDeviceTest, OpenRejectsGeometryMismatch) {
+  const std::string path = ::testing::TempDir() + "/bdisk_store_dev_odd";
+  {
+    auto dev = FileBlockDevice::Create(path, 96, 3);  // 288 bytes.
+    ASSERT_TRUE(dev.ok()) << dev.status();
+  }
+  const auto reopened = FileBlockDevice::Open(path, kBlockSize);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(FileBlockDeviceTest, OpenMissingFileIsTypedIoError) {
+  const auto dev =
+      FileBlockDevice::Open(::testing::TempDir() + "/bdisk_no_such_device",
+                            kBlockSize);
+  ASSERT_FALSE(dev.ok());
+  EXPECT_TRUE(dev.status().IsNotFound() || dev.status().IsIoError())
+      << dev.status();
+}
+
+// ---------------------------------------------------------------------------
+// FreeBitmap
+// ---------------------------------------------------------------------------
+
+TEST(FreeBitmapTest, AllocateRunIsFirstFit) {
+  FreeBitmap bitmap(16);
+  bitmap.Set(0);
+  bitmap.Set(5);  // Free gaps: [1,5) of 4, [6,16) of 10.
+  EXPECT_EQ(bitmap.AllocateRun(4), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(bitmap.AllocateRun(4), std::optional<std::uint64_t>(6));
+  EXPECT_EQ(bitmap.AllocateRun(7), std::nullopt);  // Only 6 left.
+  EXPECT_EQ(bitmap.AllocateRun(6), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(bitmap.FreeCount(), 0u);
+  EXPECT_EQ(bitmap.AllocateRun(1), std::nullopt);
+}
+
+TEST(FreeBitmapTest, SetClearTestAndFreeCount) {
+  FreeBitmap bitmap(130);  // Spans three 64-bit words.
+  EXPECT_EQ(bitmap.FreeCount(), 130u);
+  bitmap.Set(0);
+  bitmap.Set(64);
+  bitmap.Set(129);
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_FALSE(bitmap.Test(63));
+  EXPECT_EQ(bitmap.FreeCount(), 127u);
+  bitmap.Clear(64);
+  EXPECT_FALSE(bitmap.Test(64));
+  EXPECT_EQ(bitmap.FreeCount(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Device fault spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(DeviceFaultSpecTest, ParsesAndDescribesComposition) {
+  const auto config = ParseDeviceFaultSpec(
+      "errno:op=sync,at=2,err=ENOSPC+torn:at=1,bytes=10,seed=7+powercut:"
+      "at=9,torn=32");
+  ASSERT_TRUE(config.ok()) << config.status();
+  ASSERT_EQ(config->errnos.size(), 1u);
+  EXPECT_EQ(config->errnos[0].op, IoOp::kSync);
+  EXPECT_EQ(config->errnos[0].err, ENOSPC);
+  ASSERT_EQ(config->torns.size(), 1u);
+  EXPECT_EQ(config->torns[0].bytes, 10u);
+  ASSERT_TRUE(config->powercut.has_value());
+  EXPECT_EQ(config->powercut->at, 9u);
+  EXPECT_EQ(config->powercut->torn_bytes, std::optional<std::uint64_t>(32));
+  EXPECT_EQ(config->Describe(),
+            "errno:op=sync,at=2,err=ENOSPC+torn:at=1,bytes=10,seed=7+"
+            "powercut:at=9,torn=32");
+}
+
+TEST(DeviceFaultSpecTest, NoneIsEmptyConfig) {
+  const auto config = ParseDeviceFaultSpec("none");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_TRUE(config->errnos.empty());
+  EXPECT_FALSE(config->powercut.has_value());
+  EXPECT_EQ(config->Describe(), "none");
+}
+
+TEST(DeviceFaultSpecTest, ErrorsNameTheOffendingToken) {
+  const struct {
+    const char* spec;
+    const char* needle;
+  } kCases[] = {
+      {"flaky", "unknown model 'flaky'"},
+      {"powercut:when=3", "unknown key 'when'"},
+      {"powercut:at=soon", "'at=soon'"},
+      {"errno:err=EPIPE", "'err=EPIPE'"},
+      {"errno:op=readahead", "'op=readahead'"},
+      {"errno:count=0", "'count=0'"},
+      {"short:at=1,at=2", "duplicate key 'at'"},
+      {"powercut:at=1+powercut:at=2", "more than one powercut"},
+      {"torn:bytes", "expected key=value"},
+      {"", "empty"},
+  };
+  for (const auto& c : kCases) {
+    const auto config = ParseDeviceFaultSpec(c.spec);
+    ASSERT_FALSE(config.ok()) << c.spec;
+    EXPECT_TRUE(config.status().IsInvalidArgument()) << config.status();
+    EXPECT_NE(config.status().message().find(c.needle), std::string::npos)
+        << "spec '" << c.spec << "' produced: " << config.status();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultingBlockDevice
+// ---------------------------------------------------------------------------
+
+TEST(FaultingBlockDeviceTest, ErrnoInjectionHasNoSideEffect) {
+  auto config = ParseDeviceFaultSpec("errno:op=write,at=1,err=EIO");
+  ASSERT_TRUE(config.ok());
+  FaultingBlockDevice dev(MakeMem(), *config);
+  std::vector<std::uint8_t> a(kBlockSize, 1), b(kBlockSize, 2),
+      out(kBlockSize, 0);
+  ASSERT_TRUE(dev.WriteBlock(7, a.data()).ok());  // Ordinal 0: passes.
+  const IoResult r = dev.WriteBlock(7, b.data());  // Ordinal 1: EIO.
+  EXPECT_EQ(r.error, IoError::kErrno);
+  EXPECT_EQ(r.raw_errno, EIO);
+  ASSERT_TRUE(dev.ReadBlock(7, out.data()).ok());
+  EXPECT_EQ(out, a);  // The failed write changed nothing.
+  EXPECT_EQ(dev.writes_attempted(), 2u);
+}
+
+TEST(FaultingBlockDeviceTest, ShortWritePersistsPrefixAndReportsIt) {
+  auto config = ParseDeviceFaultSpec("short:at=0,bytes=8");
+  ASSERT_TRUE(config.ok());
+  FaultingBlockDevice dev(MakeMem(), *config);
+  std::vector<std::uint8_t> in(kBlockSize, 0xEE), out(kBlockSize, 0);
+  const IoResult r = dev.WriteBlock(0, in.data());
+  EXPECT_EQ(r.error, IoError::kShortWrite);
+  EXPECT_EQ(r.bytes, 8u);
+  ASSERT_TRUE(dev.ReadBlock(0, out.data()).ok());
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    EXPECT_EQ(out[i], i < 8 ? 0xEE : 0x00) << i;
+  }
+}
+
+TEST(FaultingBlockDeviceTest, TornWriteLiesAboutSuccess) {
+  auto config = ParseDeviceFaultSpec("torn:at=0,bytes=8,seed=3");
+  ASSERT_TRUE(config.ok());
+  FaultingBlockDevice dev(MakeMem(), *config);
+  std::vector<std::uint8_t> in(kBlockSize, 0xEE), out(kBlockSize, 0);
+  ASSERT_TRUE(dev.WriteBlock(0, in.data()).ok());  // Reports success.
+  ASSERT_TRUE(dev.ReadBlock(0, out.data()).ok());
+  EXPECT_NE(out, in);  // ...but the sector is torn.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], 0xEE) << i;
+}
+
+TEST(FaultingBlockDeviceTest, PowerCutKillsEverySubsequentOp) {
+  auto config = ParseDeviceFaultSpec("powercut:at=2");
+  ASSERT_TRUE(config.ok());
+  FaultingBlockDevice dev(MakeMem(), *config);
+  std::vector<std::uint8_t> buf(kBlockSize, 0x11);
+  ASSERT_TRUE(dev.WriteBlock(0, buf.data()).ok());
+  ASSERT_TRUE(dev.WriteBlock(1, buf.data()).ok());
+  EXPECT_FALSE(dev.dead());
+  EXPECT_EQ(dev.WriteBlock(2, buf.data()).error, IoError::kPowerCut);
+  EXPECT_TRUE(dev.dead());
+  EXPECT_EQ(dev.ReadBlock(0, buf.data()).error, IoError::kPowerCut);
+  EXPECT_EQ(dev.Sync().error, IoError::kPowerCut);
+  EXPECT_EQ(dev.WriteBlock(3, buf.data()).error, IoError::kPowerCut);
+}
+
+// ---------------------------------------------------------------------------
+// BlockStore
+// ---------------------------------------------------------------------------
+
+TEST(BlockStoreTest, FormatThenOpenIsEmptyGenerationOne) {
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  {
+    auto store = BlockStore::Format(std::move(mem));
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ((*store)->generation(), 1u);
+    EXPECT_TRUE((*store)->catalog().empty());
+  }
+  auto reopened =
+      BlockStore::Open(MemBlockDevice::Attach(buffer, kBlockSize));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->generation(), 1u);
+  EXPECT_TRUE((*reopened)->catalog().empty());
+}
+
+TEST(BlockStoreTest, OpenUnformattedDeviceIsDataLoss) {
+  const auto store = BlockStore::Open(MakeMem());
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsDataLoss()) << store.status();
+}
+
+TEST(BlockStoreTest, FormatRejectsTinyBlockSize) {
+  const auto store =
+      BlockStore::Format(std::make_unique<MemBlockDevice>(32, 64));
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsInvalidArgument());
+}
+
+TEST(BlockStoreTest, StageCommitReopenReadRoundTrip) {
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  const auto blocks = MakeBlocks(/*file_id=*/4, /*version=*/2, 3, 5, 100);
+  {
+    auto store = BlockStore::Format(std::move(mem));
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->StageFile(blocks).ok());
+    // Not visible before commit.
+    EXPECT_EQ((*store)->FindEntry(4, 2), nullptr);
+    EXPECT_TRUE((*store)->ReadCodedBlock(4, 2, 0).status().IsNotFound());
+    ASSERT_TRUE((*store)->Commit().ok());
+    EXPECT_EQ((*store)->generation(), 2u);
+    ASSERT_NE((*store)->FindEntry(4, 2), nullptr);
+  }
+  auto store = BlockStore::Open(MemBlockDevice::Attach(buffer, kBlockSize));
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->generation(), 2u);
+  const CatalogEntry* entry = (*store)->FindEntry(4, 2);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->m, 3u);
+  EXPECT_EQ(entry->n, 5u);
+  EXPECT_EQ(entry->payload_bytes, 100u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto block = (*store)->ReadCodedBlock(4, 2, i);
+    ASSERT_TRUE(block.ok()) << block.status();
+    EXPECT_EQ(*block, blocks[i]);  // Header AND payload, bit for bit.
+  }
+}
+
+TEST(BlockStoreTest, StageFileValidatesIdentityAndStamps) {
+  auto store = BlockStore::Format(MakeMem());
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE((*store)->StageFile({}).IsInvalidArgument());
+
+  auto mixed = MakeBlocks(1, 0, 2, 3, 40);
+  mixed[2].header.version = 9;  // Identity disagreement.
+  ida::StampChecksum(&mixed[2]);
+  EXPECT_TRUE((*store)->StageFile(mixed).IsInvalidArgument());
+
+  auto unstamped = MakeBlocks(1, 0, 2, 3, 40);
+  unstamped[1].header.checksum = 0;
+  EXPECT_TRUE((*store)->StageFile(unstamped).IsInvalidArgument());
+
+  const auto good = MakeBlocks(1, 0, 2, 3, 40);
+  ASSERT_TRUE((*store)->StageFile(good).ok());
+  EXPECT_TRUE((*store)->StageFile(good).IsInvalidArgument())
+      << "restaging the same (file, version) must be rejected";
+}
+
+TEST(BlockStoreTest, StagedEraseDefersFreeUntilCommit) {
+  // Device with room for one big file (plus metadata), not two: an erase
+  // staged in the same transaction as a new file must NOT make the old
+  // blocks reusable — shadow paging forbids touching the committed
+  // generation.
+  auto store =
+      BlockStore::Format(std::make_unique<MemBlockDevice>(kBlockSize, 40));
+  ASSERT_TRUE(store.ok()) << store.status();
+  const auto v0 = MakeBlocks(0, 0, 2, 4, 7 * kBlockSize);  // 28 blocks.
+  ASSERT_TRUE((*store)->StageFile(v0).ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+
+  ASSERT_TRUE((*store)->StageErase(0, 0).ok());
+  const auto v1 = MakeBlocks(0, 1, 2, 4, 7 * kBlockSize);
+  const Status replace = (*store)->StageFile(v1);
+  ASSERT_FALSE(replace.ok());
+  EXPECT_TRUE(replace.IsResourceExhausted()) << replace;
+
+  // After aborting and committing the erase ALONE, the space is back.
+  (*store)->Abort();
+  ASSERT_TRUE((*store)->StageErase(0, 0).ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+  ASSERT_TRUE((*store)->StageFile(v1).ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+  EXPECT_NE((*store)->FindEntry(0, 1), nullptr);
+  EXPECT_EQ((*store)->FindEntry(0, 0), nullptr);
+}
+
+TEST(BlockStoreTest, AbortDiscardsStagedState) {
+  auto store = BlockStore::Format(MakeMem());
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(3, 0, 2, 3, 50)).ok());
+  (*store)->Abort();
+  ASSERT_TRUE((*store)->Commit().ok());  // Nothing dirty: no-op.
+  EXPECT_EQ((*store)->generation(), 1u);
+  EXPECT_EQ((*store)->FindEntry(3, 0), nullptr);
+}
+
+TEST(BlockStoreTest, BitRotSurfacesAsTypedDataLossNeverGarbage) {
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  auto store = BlockStore::Format(std::move(mem));
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(2, 1, 2, 3, 90)).ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+  const CatalogEntry* entry = (*store)->FindEntry(2, 1);
+  ASSERT_NE(entry, nullptr);
+
+  // Flip one bit in the middle of coded block 1's on-disk payload.
+  const std::uint64_t victim = entry->blocks[1].first_block;
+  (*buffer)[victim * kBlockSize + 11] ^= 0x40;
+
+  const auto rotted = (*store)->ReadCodedBlock(2, 1, 1);
+  ASSERT_FALSE(rotted.ok());
+  EXPECT_TRUE(rotted.status().IsDataLoss()) << rotted.status();
+  // Undamaged siblings still read fine.
+  EXPECT_TRUE((*store)->ReadCodedBlock(2, 1, 0).ok());
+  EXPECT_TRUE((*store)->ReadCodedBlock(2, 1, 2).ok());
+}
+
+TEST(BlockStoreTest, TornSuperblockRecoversToOlderGeneration) {
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  auto store = BlockStore::Format(std::move(mem));
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(0, 0, 2, 3, 30)).ok());
+  ASSERT_TRUE((*store)->Commit().ok());  // Generation 2, slot 0.
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(1, 0, 2, 3, 30)).ok());
+  ASSERT_TRUE((*store)->Commit().ok());  // Generation 3, slot 1.
+
+  // Tear generation 3's superblock (slot 1): its CRC must reject, and
+  // recovery must land on generation 2 — old, consistent, no file 1.
+  (*buffer)[1 * kBlockSize + 30] ^= 0xFF;
+  auto reopened =
+      BlockStore::Open(MemBlockDevice::Attach(buffer, kBlockSize));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->generation(), 2u);
+  EXPECT_NE((*reopened)->FindEntry(0, 0), nullptr);
+  EXPECT_EQ((*reopened)->FindEntry(1, 0), nullptr);
+}
+
+TEST(BlockStoreTest, BothSuperblocksDamagedIsDataLoss) {
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  {
+    auto store = BlockStore::Format(std::move(mem));
+    ASSERT_TRUE(store.ok()) << store.status();
+  }
+  (*buffer)[0 * kBlockSize + 5] ^= 0x01;
+  (*buffer)[1 * kBlockSize + 5] ^= 0x01;
+  const auto reopened =
+      BlockStore::Open(MemBlockDevice::Attach(buffer, kBlockSize));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status();
+}
+
+TEST(BlockStoreTest, FailedCommitPoisonsUntilAbortReadsStillServe) {
+  auto config = ParseDeviceFaultSpec("errno:op=sync,err=EIO,count=100");
+  ASSERT_TRUE(config.ok());
+  // Build a committed store first on a clean device, then wrap the SAME
+  // bytes in a faulting device for the failing update.
+  auto mem = MakeMem();
+  auto buffer = mem->buffer();
+  {
+    auto store = BlockStore::Format(std::move(mem));
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->StageFile(MakeBlocks(0, 0, 2, 3, 30)).ok());
+    ASSERT_TRUE((*store)->Commit().ok());
+  }
+  auto store = BlockStore::Open(std::make_unique<FaultingBlockDevice>(
+      MemBlockDevice::Attach(buffer, kBlockSize), *config));
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(1, 0, 2, 3, 30)).ok());
+  const Status failed = (*store)->Commit();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsIoError()) << failed;
+  EXPECT_TRUE((*store)->poisoned());
+  // Mutation is rejected; reads of the committed generation still work.
+  EXPECT_TRUE((*store)->StageErase(0, 0).IsIoError());
+  EXPECT_TRUE((*store)->Commit().IsIoError());
+  EXPECT_TRUE((*store)->ReadCodedBlock(0, 0, 0).ok());
+  (*store)->Abort();
+  EXPECT_FALSE((*store)->poisoned());
+  EXPECT_TRUE((*store)->ReadCodedBlock(0, 0, 0).ok());
+}
+
+TEST(BlockStoreTest, StatsReflectCatalog) {
+  auto store = BlockStore::Format(MakeMem());
+  ASSERT_TRUE(store.ok()) << store.status();
+  const StoreStats before = (*store)->Stats();
+  EXPECT_EQ(before.generation, 1u);
+  EXPECT_EQ(before.entries, 0u);
+  EXPECT_EQ(before.total_blocks, kBlockCount);
+  ASSERT_TRUE((*store)->StageFile(MakeBlocks(0, 0, 2, 4, 2 * kBlockSize)).ok());
+  ASSERT_TRUE((*store)->Commit().ok());
+  const StoreStats after = (*store)->Stats();
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_LT(after.free_blocks, before.free_blocks);
+  EXPECT_NE(after.ToString().find("generation=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdisk::store

@@ -58,6 +58,15 @@
 // at any thread count and across both engines. `bdisk_trace` filters and
 // summarizes the file.
 //
+// --store PATH materializes the planned program into a crash-safe
+// persistent block store (src/store/) at PATH: deterministic per-file
+// contents are dispersed, checksum-stamped, and committed, then one full
+// broadcast period is served back FROM DISK and every coded block is
+// re-read and verified bit-exact before the tool reports the store's
+// stats. --store-bytes SIZE (byte-size grammar: 4096, 64KiB, 1MiB, ...)
+// caps the device size; omitted, the device is sized to fit the program.
+// An undersized cap surfaces the store's typed out-of-space error.
+//
 // Example byte-domain spec:
 //   channel 196608
 //   file nav     bytes=16384 latency=0.5 faults=1
@@ -84,7 +93,9 @@
 #include "bdisk/flat_builder.h"
 #include "bdisk/pinwheel_builder.h"
 #include "bdisk/spec_parser.h"
+#include "common/random.h"
 #include "faults/channel_spec.h"
+#include "ida/dispersal.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -92,7 +103,10 @@
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "sim/server.h"
 #include "sim/simulation.h"
+#include "store/block_device.h"
+#include "store/block_store.h"
 
 namespace {
 
@@ -108,6 +122,9 @@ std::uint64_t g_metrics_interval = 0;  // 0 = one program period.
 // The first stream truncates the file; later runs (e.g. the two --adaptive
 // replays) append to it.
 bool g_metrics_append = false;
+const char* g_store_path = nullptr;
+// 0 = size the device to fit the program; otherwise a hard capacity cap.
+std::uint64_t g_store_bytes = 0;
 const char* g_trace_out = nullptr;
 // Capture policy; tracing is active iff g_trace_out is set.
 bdisk::obs::TraceOptions g_trace_options;
@@ -208,6 +225,106 @@ void PrintProgram(const BuildResult& result) {
 }
 
 using bdisk::runtime::ParseUint64Token;
+
+// --store: materialize the planned program into a crash-safe persistent
+// block store at g_store_path, serve one full period back from disk, and
+// re-read every coded block bit-exact before reporting the store's stats.
+int MaterializeStore(const BroadcastProgram& planned,
+                     std::size_t payload_bytes) {
+  namespace store = bdisk::store;
+  constexpr std::size_t kDeviceBlock = 4096;
+
+  // Deterministic per-file contents (exactly m payloads each) so a later
+  // run against the same spec produces a byte-identical store.
+  std::vector<std::vector<std::uint8_t>> contents(planned.file_count());
+  for (FileIndex f = 0; f < planned.file_count(); ++f) {
+    bdisk::Rng rng(0x5702Eull + f);
+    contents[f].resize(planned.files()[f].m * payload_bytes);
+    for (auto& b : contents[f]) {
+      b = static_cast<std::uint8_t>(rng.Uniform(256));
+    }
+  }
+
+  std::uint64_t device_blocks;
+  if (g_store_bytes != 0) {
+    device_blocks = g_store_bytes / kDeviceBlock;
+  } else {
+    device_blocks = store::BlockStore::kFirstDataBlock;
+    std::uint64_t catalog_bytes = 8;
+    for (FileIndex f = 0; f < planned.file_count(); ++f) {
+      const ProgramFile& pf = planned.files()[f];
+      device_blocks +=
+          pf.n * ((payload_bytes + kDeviceBlock - 1) / kDeviceBlock);
+      catalog_bytes += 28 + pf.n * 12;
+    }
+    device_blocks +=
+        2 * ((catalog_bytes + kDeviceBlock - 1) / kDeviceBlock) + 16;
+  }
+
+  std::remove(g_store_path);
+  auto device =
+      store::FileBlockDevice::Create(g_store_path, kDeviceBlock,
+                                     device_blocks);
+  if (!device.ok()) {
+    std::fprintf(stderr, "store: %s\n", device.status().ToString().c_str());
+    return 1;
+  }
+  auto built = store::BlockStore::Format(std::move(*device));
+  if (!built.ok()) {
+    std::fprintf(stderr, "store: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  store::BlockStore& st = **built;
+  auto server = bdisk::sim::BroadcastServer::CreateDiskBacked(
+      bdisk::sim::EpochSchedule::Single(planned), contents, payload_bytes,
+      &st);
+  if (!server.ok()) {
+    std::fprintf(stderr, "store: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // Serve one full period from disk, then re-read and re-verify every
+  // cataloged block and reconstruct each file from its first m blocks.
+  for (std::uint64_t t = 0; t < planned.period(); ++t) {
+    auto tx = server->FetchTransmission(t);
+    if (!tx.ok()) {
+      std::fprintf(stderr, "store: slot %llu: %s\n",
+                   static_cast<unsigned long long>(t),
+                   tx.status().ToString().c_str());
+      return 1;
+    }
+  }
+  for (FileIndex f = 0; f < planned.file_count(); ++f) {
+    const ProgramFile& pf = planned.files()[f];
+    std::vector<bdisk::ida::Block> first_m;
+    for (std::uint32_t k = 0; k < pf.n; ++k) {
+      auto block = st.ReadCodedBlock(f, 0, k);
+      if (!block.ok()) {
+        std::fprintf(stderr, "store: %s block %u: %s\n", pf.name.c_str(), k,
+                     block.status().ToString().c_str());
+        return 1;
+      }
+      if (first_m.size() < pf.m) first_m.push_back(std::move(*block));
+    }
+    auto engine = bdisk::ida::Dispersal::Create(pf.m, pf.n, payload_bytes);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "store: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    auto data = engine->Reconstruct(first_m);
+    if (!data.ok() || *data != contents[f]) {
+      std::fprintf(stderr,
+                   "store: %s did not reconstruct to the bytes written\n",
+                   pf.name.c_str());
+      return 1;
+    }
+  }
+  std::printf("\nstore: materialized to %s and verified (one period served "
+              "from disk, every block re-read bit-exact)\n  %s\n",
+              g_store_path, st.Stats().ToString().c_str());
+  return 0;
+}
 
 // --channel replay: a random-start retrieval workload against the planned
 // program over the parsed erasure channel, surfacing the
@@ -373,6 +490,11 @@ int Plan(const std::string& text, bool adaptive) {
                 static_cast<unsigned long long>(
                     choice->bandwidth_blocks_per_second));
     PrintProgram(choice->build);
+    if (g_store_path != nullptr) {
+      const int rc =
+          MaterializeStore(choice->build.program, choice->block_size);
+      if (rc != 0) return rc;
+    }
     if (g_channel != nullptr) {
       const int rc = ReplayChannel(choice->build.program);
       if (rc != 0) return rc;
@@ -393,6 +515,12 @@ int Plan(const std::string& text, bool adaptive) {
     return 1;
   }
   PrintProgram(*result);
+  if (g_store_path != nullptr) {
+    // Slot-domain specs have no byte size; store a fixed 64-byte payload
+    // per coded block.
+    const int rc = MaterializeStore(result->program, 64);
+    if (rc != 0) return rc;
+  }
   if (g_channel != nullptr) {
     const int rc = ReplayChannel(result->program);
     if (rc != 0) return rc;
@@ -422,6 +550,9 @@ int main(int argc, char** argv) {
                                                     "metrics-out");
   const char* metrics_interval_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "metrics-interval");
+  g_store_path = bdisk::runtime::ConsumeStringFlag(&argc, argv, "store");
+  const char* store_bytes_token =
+      bdisk::runtime::ConsumeStringFlag(&argc, argv, "store-bytes");
   g_trace_out = bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-out");
   const char* trace_sample_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-sample");
@@ -434,10 +565,24 @@ int main(int argc, char** argv) {
                  "usage: %s [--threads N] [--adaptive] [--channel SPEC] "
                  "[--engine slot|event] [--requests N] [--seed S] "
                  "[--metrics-out PATH] [--metrics-interval N] "
+                 "[--store PATH] [--store-bytes SIZE] "
                  "[--trace-out PATH] [--trace-sample 1/N] [--trace-stall S] "
                  "[--trace-flight K] <spec-file | ->\n",
                  argv[0]);
     return 2;
+  }
+  if (store_bytes_token != nullptr) {
+    auto parsed = bdisk::runtime::ParseByteSize(store_bytes_token);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: --store-bytes: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    g_store_bytes = *parsed;
+    if (g_store_path == nullptr) {
+      std::fprintf(stderr, "error: --store-bytes requires --store\n");
+      return 2;
+    }
   }
   if (trace_sample_token != nullptr) {
     // Accepted as "1/N" (the sampling-rate reading) or plain "N".
