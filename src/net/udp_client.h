@@ -1,0 +1,138 @@
+/// \file udp_client.h
+/// \brief Poll-based broadcast listener: tunes in mid-stream, feeds the
+/// existing reconstruction path, reports the same `SessionResult`.
+///
+/// One socket hosts many *logical sessions* — that is the broadcast
+/// semantics of the paper: every listener hears the same datagrams, so N
+/// concurrent retrievals cost one wire pass, not N. Each session owns a
+/// `sim::ReconstructingClient` and every received block datagram is
+/// offered to every session that has tuned in; duplicate/stale/corrupt
+/// rejection is the in-process `OfferEx` path, byte for byte (the wire
+/// header carries the block's identity + CRC-32C stamp verbatim).
+///
+/// The loop is single-threaded and non-blocking: `poll(2)` for
+/// readability, drain the socket, decode, offer. It terminates when all
+/// sessions complete, an end-of-stream datagram arrives, or the wire
+/// stays silent past the idle timeout (UDP may lose the end datagrams
+/// too).
+///
+/// What a wire listener *cannot* report: `lost_observed` and
+/// `stall_slots` need the server's schedule as ground truth (a lost
+/// datagram is, to the listener, indistinguishable from an idle slot
+/// whose beacon was lost). Those stay 0 in wire results; harnesses that
+/// want them compute them from an in-process reference run.
+/// `corrupt_detected` counts checksum rejections attributed by the
+/// *claimed* header identity — identical to the in-process ground-truth
+/// count whenever corruption leaves `file_id` intact, and exactly equal
+/// (zero) on pure-erasure channels.
+
+#ifndef BDISK_NET_UDP_CLIENT_H_
+#define BDISK_NET_UDP_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/udp_socket.h"
+#include "sim/client.h"
+
+namespace bdisk::net {
+
+/// \brief One logical retrieval: which file, what geometry, and from
+/// which slot the listener counts latency.
+struct WireSession {
+  broadcast::FileIndex file = 0;
+  std::uint32_t m = 0;
+  std::uint32_t n = 0;
+  /// Slot from which this session listens. Unset = tune in at the first
+  /// datagram heard (mid-stream join).
+  std::optional<std::uint64_t> start_slot;
+};
+
+/// \brief A session's outcome: the in-process result shape plus the
+/// resolved tune-in slot.
+struct WireSessionResult {
+  sim::SessionResult session;
+  /// The slot latency is counted from (resolved at tune-in).
+  std::uint64_t start_slot = 0;
+};
+
+/// \brief Listener knobs.
+struct UdpClientOptions {
+  std::string bind_host = "127.0.0.1";
+  /// 0 = kernel-chosen; read back with bound_port().
+  std::uint16_t port = 0;
+  /// Payload bytes per block (the program's block size).
+  std::size_t block_size = 0;
+  /// Kernel receive buffer; a paced broadcast can burst faster than a
+  /// test-runner schedules this process.
+  int recv_buffer_bytes = 4 << 20;
+  /// Give up after this long with no datagram at all.
+  int idle_timeout_ms = 5000;
+  /// Reject unstamped blocks (the broadcast server stamps everything).
+  bool require_checksums = true;
+  /// Keep listening until the end-of-stream marker even after every
+  /// session has completed. On: stats cover the whole broadcast, and
+  /// datagrams-received can be audited against datagrams-sent. Off: tune
+  /// out as soon as all sessions are done (a real receiver switching the
+  /// radio off) — the stream tail then goes deliberately unread, so
+  /// sent-vs-received accounting is meaningless.
+  bool linger_until_end = true;
+};
+
+/// \brief Run tallies (client-level, across all sessions).
+struct UdpClientStats {
+  std::uint64_t datagrams = 0;
+  std::uint64_t block_datagrams = 0;
+  std::uint64_t idle_datagrams = 0;
+  std::uint64_t decode_errors = 0;
+  bool end_seen = false;
+  bool timed_out = false;
+};
+
+/// \brief The event-loop listener.
+class UdpClient {
+ public:
+  /// Binds the listening socket (port 0 → ephemeral, see bound_port()).
+  static Result<UdpClient> Create(const UdpClientOptions& options);
+
+  UdpClient(UdpClient&&) = default;
+  UdpClient& operator=(UdpClient&&) = default;
+
+  /// The port the broadcast server should send to.
+  std::uint16_t bound_port() const { return socket_.bound_port(); }
+
+  /// Registers a logical session. Call before Run().
+  void AddSession(const WireSession& session);
+
+  /// Runs the event loop to completion and returns one result per
+  /// registered session, in registration order.
+  Result<std::vector<WireSessionResult>> Run();
+
+  const UdpClientStats& stats() const { return stats_; }
+
+ private:
+  explicit UdpClient(UdpClientOptions options, UdpSocket socket)
+      : options_(std::move(options)), socket_(std::move(socket)) {}
+
+  struct ActiveSession {
+    WireSession spec;
+    sim::ReconstructingClient client;
+    WireSessionResult result;
+    bool tuned_in = false;
+  };
+
+  void OfferToSessions(std::uint64_t slot, std::uint64_t epoch,
+                       const ida::Block& block);
+  bool AllComplete() const;
+
+  UdpClientOptions options_;
+  UdpSocket socket_;
+  std::vector<ActiveSession> sessions_;
+  UdpClientStats stats_;
+};
+
+}  // namespace bdisk::net
+
+#endif  // BDISK_NET_UDP_CLIENT_H_

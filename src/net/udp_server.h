@@ -1,0 +1,67 @@
+/// \file udp_server.h
+/// \brief The broadcast station: walks a schedule, emits one datagram per
+/// slot, paced to the configured channel bandwidth.
+///
+/// `UdpBroadcastServer` adapts the existing `sim::BroadcastServer` (which
+/// owns the schedule and the coded store, in-memory or disk-backed) onto a
+/// `WireSink`. It is a pure downlink: no client state, no uplink, no
+/// handshake — exactly the paper's broadcast-disk medium. Listeners tune
+/// in whenever they like and synchronize from the slot number stamped on
+/// every datagram.
+///
+/// Pacing: with a nonzero `bandwidth_bytes_per_sec`, every datagram
+/// (header + payload) reserves its size from a `TokenBucket` before the
+/// send, so wire throughput tracks the configured channel bandwidth (the
+/// CI gate holds it to ±5%). Zero bandwidth means unpaced — as fast as
+/// the loopback accepts, which is what byte-identity tests want.
+///
+/// The stream ends with `end_repeats` end-of-stream datagrams (UDP may
+/// drop any one of them; a listener needs only one).
+
+#ifndef BDISK_NET_UDP_SERVER_H_
+#define BDISK_NET_UDP_SERVER_H_
+
+#include <cstdint>
+
+#include "net/rate_limiter.h"
+#include "net/udp_socket.h"
+#include "sim/server.h"
+
+namespace bdisk::net {
+
+/// \brief Knobs for one broadcast run.
+struct UdpServerOptions {
+  /// Slots to serve: [0, horizon).
+  std::uint64_t horizon = 0;
+  /// Channel budget for pacing; 0 = unpaced.
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Token-bucket capacity; 0 = the TokenBucket default.
+  std::uint64_t burst_bytes = 0;
+  /// End-of-stream datagrams appended after the horizon.
+  int end_repeats = 3;
+  /// Emit header-only beacons for idle slots (keeps listener clocks and
+  /// liveness timers advancing through scheduling gaps).
+  bool emit_idle_beacons = true;
+};
+
+/// \brief Tallies from one `Serve` run.
+struct UdpServerStats {
+  std::uint64_t slots = 0;
+  std::uint64_t block_datagrams = 0;
+  std::uint64_t idle_datagrams = 0;
+  std::uint64_t end_datagrams = 0;
+  std::uint64_t bytes = 0;
+  /// Wall time of the run, by TokenBucket::MonotonicNowNs.
+  std::uint64_t wall_ns = 0;
+};
+
+/// \brief Serves `server`'s schedule over `sink`, slot 0 through
+/// `options.horizon`. Blocks until the horizon is reached (pacing sleeps
+/// happen inside). `server` and `sink` are borrowed.
+Result<UdpServerStats> ServeBroadcast(sim::BroadcastServer* server,
+                                      WireSink* sink,
+                                      const UdpServerOptions& options);
+
+}  // namespace bdisk::net
+
+#endif  // BDISK_NET_UDP_SERVER_H_

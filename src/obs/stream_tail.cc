@@ -1,0 +1,47 @@
+#include "obs/stream_tail.h"
+
+#include <fstream>
+
+namespace bdisk::obs {
+
+void StreamTail::Feed(const char* data, std::size_t size,
+                      const LineFn& on_line) {
+  pending_.append(data, size);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = pending_.find('\n', start);
+    if (nl == std::string::npos) break;
+    on_line(pending_.substr(start, nl - start));
+    start = nl + 1;
+  }
+  pending_.erase(0, start);
+}
+
+bool StreamTail::PollFile(const std::string& path, const LineFn& on_line,
+                          bool* restarted) {
+  if (restarted != nullptr) *restarted = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) return false;
+  const std::uint64_t size = static_cast<std::uint64_t>(end);
+  if (size < offset_) {
+    // Truncated or replaced underneath us: everything delivered so far
+    // described a file that no longer exists. Start over.
+    offset_ = 0;
+    pending_.clear();
+    ++truncations_;
+    if (restarted != nullptr) *restarted = true;
+  }
+  if (size == offset_) return true;
+  in.seekg(static_cast<std::streamoff>(offset_));
+  std::string buf(static_cast<std::size_t>(size - offset_), '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  buf.resize(static_cast<std::size_t>(in.gcount()));
+  offset_ += buf.size();
+  Feed(buf.data(), buf.size(), on_line);
+  return true;
+}
+
+}  // namespace bdisk::obs

@@ -1,0 +1,62 @@
+/// \file stream_tail.h
+/// \brief Incremental newline-framed file tailer (the `--follow` engine).
+///
+/// Tails a line-oriented stream that a producer is still appending to,
+/// delivering each line **exactly once**: a trailing line written without
+/// its newline yet (the producer mid-write) is buffered, not delivered,
+/// and is delivered as one complete line when the newline arrives — never
+/// dropped, never delivered twice. A consumer that wants to *display* the
+/// unfinished line anyway reads `pending()` and folds it into a throwaway
+/// copy of its state (see bdisk_top), keeping the authoritative fold
+/// newline-driven.
+///
+/// Truncation/replacement: a file smaller than the bytes already consumed
+/// means the producer truncated or re-created it (a fresh run). The tail
+/// restarts from byte zero — offset and the pending buffer are discarded —
+/// and reports the restart so the consumer can reset its own fold state
+/// (the already-delivered lines described a file that no longer exists).
+
+#ifndef BDISK_OBS_STREAM_TAIL_H_
+#define BDISK_OBS_STREAM_TAIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bdisk::obs {
+
+class StreamTail {
+ public:
+  /// Invoked once per completed line, newline stripped.
+  using LineFn = std::function<void(const std::string&)>;
+
+  /// Feeds `size` appended bytes, invoking `on_line` for each line
+  /// completed by them. Bytes after the last newline stay in pending().
+  void Feed(const char* data, std::size_t size, const LineFn& on_line);
+
+  /// Reads whatever `path` holds beyond the consumed offset and feeds
+  /// it. Returns false when the file cannot be opened (the tail state is
+  /// untouched — the caller may retry). Sets `*restarted` (if non-null)
+  /// when a truncation/replacement was detected and the tail restarted
+  /// from byte zero; the caller must then also reset whatever state it
+  /// folded the previous lines into.
+  bool PollFile(const std::string& path, const LineFn& on_line,
+                bool* restarted = nullptr);
+
+  /// Bytes of the file consumed so far.
+  std::uint64_t offset() const { return offset_; }
+  /// The incomplete trailing line (producer mid-write), newline-less.
+  const std::string& pending() const { return pending_; }
+  /// Truncation/replacement restarts observed.
+  std::uint64_t truncations() const { return truncations_; }
+
+ private:
+  std::uint64_t offset_ = 0;
+  std::string pending_;
+  std::uint64_t truncations_ = 0;
+};
+
+}  // namespace bdisk::obs
+
+#endif  // BDISK_OBS_STREAM_TAIL_H_

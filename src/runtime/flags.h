@@ -239,6 +239,91 @@ inline bool ConsumeBoolFlag(int* argc, char** argv, const char* name) {
   return present;
 }
 
+/// \brief Occurrences of `--<name>` (either spelling: `--<name> V` and
+/// `--<name>=V` both count, as does a bare `--<name>`).
+inline int CountFlagOccurrences(int argc, char** argv, const char* name) {
+  const std::size_t name_len = std::strlen(name);
+  int count = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const char* body = argv[i] + 2;
+    if (std::strncmp(body, name, name_len) != 0) continue;
+    if (body[name_len] == '\0' || body[name_len] == '=') ++count;
+  }
+  return count;
+}
+
+/// \brief Typed error for a flag given more than once. A repeated flag is
+/// almost always an edited-command mistake, and silently letting one
+/// occurrence win (first for the value helpers, last for the consuming
+/// ones — historically they even disagreed) means the user runs something
+/// other than what they read on their own command line.
+inline Status DuplicateFlagError(const char* name) {
+  return Status::InvalidArgument(std::string("flag --") + name +
+                                 " given more than once");
+}
+
+/// \brief Strict ConsumeStringFlag: accepts `--<name> V` and
+/// `--<name>=V`, removes the flag + value from argv, and errors (naming
+/// the flag) when the flag appears more than once. Returns `fallback`
+/// when absent. A trailing valueless `--<name>` is left in place for the
+/// caller's usage check, exactly like ConsumeStringFlag.
+inline Result<const char*> ConsumeStringFlagOnce(
+    int* argc, char** argv, const char* name,
+    const char* fallback = nullptr) {
+  if (CountFlagOccurrences(*argc, argv, name) > 1) {
+    return DuplicateFlagError(name);
+  }
+  return ConsumeStringFlag(argc, argv, name, fallback);
+}
+
+/// \brief Strict presence flag: true iff `--<name>` appears exactly once
+/// (removed from argv); absent is false; more than once is an error
+/// naming the flag.
+inline Result<bool> ConsumeBoolFlagOnce(int* argc, char** argv,
+                                        const char* name) {
+  if (CountFlagOccurrences(*argc, argv, name) > 1) {
+    return DuplicateFlagError(name);
+  }
+  return ConsumeBoolFlag(argc, argv, name);
+}
+
+/// \brief Strict uint flag: both spellings, consumed from argv, duplicate
+/// and malformed values are errors naming the flag; absent = `fallback`.
+inline Result<std::uint64_t> ConsumeUintFlagOnce(int* argc, char** argv,
+                                                 const char* name,
+                                                 std::uint64_t fallback) {
+  BDISK_ASSIGN_OR_RETURN(const char* token,
+                         ConsumeStringFlagOnce(argc, argv, name));
+  if (token == nullptr) return fallback;
+  std::uint64_t value = 0;
+  if (!ParseUint64Token(token, &value)) {
+    return Status::InvalidArgument(std::string("flag --") + name +
+                                   ": '" + token +
+                                   "' is not a non-negative integer");
+  }
+  return value;
+}
+
+/// \brief Strict byte-size flag (ParseByteSizeToken grammar): both
+/// spellings, consumed, duplicates and malformed values are errors naming
+/// the flag; absent = `fallback`.
+inline Result<std::uint64_t> ConsumeByteSizeFlagOnce(int* argc, char** argv,
+                                                     const char* name,
+                                                     std::uint64_t fallback) {
+  BDISK_ASSIGN_OR_RETURN(const char* token,
+                         ConsumeStringFlagOnce(argc, argv, name));
+  if (token == nullptr) return fallback;
+  std::uint64_t value = 0;
+  if (!ParseByteSizeToken(token, &value)) {
+    return Status::InvalidArgument(
+        std::string("flag --") + name + ": '" + token +
+        "' is not a byte size (decimal count with optional B/KiB/MiB/GiB)");
+  }
+  return value;
+}
+
+
 }  // namespace bdisk::runtime
 
 #endif  // BDISK_RUNTIME_FLAGS_H_

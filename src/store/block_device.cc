@@ -168,6 +168,11 @@ IoResult FileBlockDevice::WriteBlock(std::uint64_t index, const void* data) {
       if (errno == EINTR) continue;
       return IoResult::Errno(IoOp::kWrite, errno, index);
     }
+    if (n == 0) {
+      // A 0-byte pwrite is not progress (a full device / zero-size
+      // extent reports this way); looping on it would spin forever.
+      return IoResult::Short(IoOp::kWrite, index, done);
+    }
     done += static_cast<std::size_t>(n);
   }
   return IoResult::Ok();

@@ -21,6 +21,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "obs/json.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
+#include "obs/stream_tail.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "sim/simulation.h"
@@ -386,6 +389,83 @@ TEST(SnapshotTest, AllIncompleteRunStreamsConsistentlyAcrossEngines) {
   runtime::ThreadPool pool(3);
   EXPECT_EQ(slot_serial, StreamFor(simulator, true, &pool, 256))
       << "event-pooled stream differs on the all-incomplete run";
+}
+
+// ---------------------------------------------------------------------------
+// StreamTail exactly-once framing (the bdisk_top --follow engine).
+
+TEST(StreamTailTest, UnterminatedLineIsPendingThenDeliveredExactlyOnce) {
+  StreamTail tail;
+  std::vector<std::string> lines;
+  const auto sink = [&lines](const std::string& l) { lines.push_back(l); };
+  tail.Feed("alpha\nbra", 9, sink);
+  // "bra" has no newline yet: buffered, not delivered.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(tail.pending(), "bra");
+  // The producer completes the line: one delivery, with both halves.
+  tail.Feed("vo\n", 3, sink);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "bravo");
+  EXPECT_TRUE(tail.pending().empty());
+}
+
+TEST(StreamTailTest, PollFileCompletesPartialLineExactlyOnce) {
+  const std::string path = ::testing::TempDir() + "/bdisk_tail_poll_test";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "one\ntw";  // Final line mid-write, no trailing newline.
+  }
+  StreamTail tail;
+  std::vector<std::string> lines;
+  const auto sink = [&lines](const std::string& l) { lines.push_back(l); };
+  ASSERT_TRUE(tail.PollFile(path, sink));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(tail.pending(), "tw");
+  // Nothing appended: polling again must not re-deliver anything.
+  ASSERT_TRUE(tail.PollFile(path, sink));
+  EXPECT_EQ(lines.size(), 1u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "o\nthree\n";
+  }
+  ASSERT_TRUE(tail.PollFile(path, sink));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "two");  // Once, whole — not "tw" + "two".
+  EXPECT_EQ(lines[2], "three");
+  std::remove(path.c_str());
+}
+
+TEST(StreamTailTest, TruncateMidLineRestartsFromByteZero) {
+  const std::string path = ::testing::TempDir() + "/bdisk_tail_trunc_test";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "first run line\npartial tail without newline";
+  }
+  StreamTail tail;
+  std::vector<std::string> lines;
+  const auto sink = [&lines](const std::string& l) { lines.push_back(l); };
+  bool restarted = false;
+  ASSERT_TRUE(tail.PollFile(path, sink, &restarted));
+  EXPECT_FALSE(restarted);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(tail.pending().empty());
+  // A fresh (shorter) run replaces the file while the old tail is
+  // mid-line: the tail must discard the stale pending bytes and re-read
+  // from byte zero instead of splicing two unrelated files together.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "second\n";
+  }
+  ASSERT_TRUE(tail.PollFile(path, sink, &restarted));
+  EXPECT_TRUE(restarted);
+  EXPECT_EQ(tail.truncations(), 1u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_TRUE(tail.pending().empty());
+  EXPECT_EQ(tail.offset(), 7u);
+  std::remove(path.c_str());
 }
 
 TEST(SnapshotTest, MergeConcatenatesShardLogs) {

@@ -204,5 +204,95 @@ TEST(ByteSizeTest, ByteSizeFlagParsesAndFallsBack) {
             7u);
 }
 
+TEST(StrictFlagTest, AcceptsBothSpellingsAndConsumes) {
+  {
+    char a0[] = "prog", a1[] = "--port", a2[] = "9000", a3[] = "file";
+    char* argv[] = {a0, a1, a2, a3, nullptr};
+    int argc = 4;
+    const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(*v, 9000u);
+    ASSERT_EQ(argc, 2);  // Flag and value consumed; positional kept.
+    EXPECT_STREQ(argv[1], "file");
+    EXPECT_EQ(argv[2], nullptr);  // argv[argc] == NULL preserved.
+  }
+  {
+    char a0[] = "prog", a1[] = "--port=9000";
+    char* argv[] = {a0, a1, nullptr};
+    int argc = 2;
+    const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(*v, 9000u);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    char a0[] = "prog";
+    char* argv[] = {a0, nullptr};
+    int argc = 1;
+    const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 7u);  // Absent: fallback.
+  }
+}
+
+TEST(StrictFlagTest, DuplicateFlagErrorsNamingTheFlag) {
+  // Same spelling twice.
+  {
+    char a0[] = "prog", a1[] = "--port", a2[] = "1", a3[] = "--port",
+         a4[] = "2";
+    char* argv[] = {a0, a1, a2, a3, a4, nullptr};
+    int argc = 5;
+    const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+    ASSERT_FALSE(v.ok());
+    EXPECT_TRUE(v.status().IsInvalidArgument());
+    EXPECT_NE(v.status().message().find("--port"), std::string::npos)
+        << v.status();
+  }
+  // Mixed spellings count as the same flag.
+  {
+    char a0[] = "prog", a1[] = "--port=1", a2[] = "--port", a3[] = "2";
+    char* argv[] = {a0, a1, a2, a3, nullptr};
+    int argc = 4;
+    const auto v = ConsumeStringFlagOnce(&argc, argv, "port");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.status().message().find("--port"), std::string::npos);
+  }
+  // Bool flags too.
+  {
+    char a0[] = "prog", a1[] = "--follow", a2[] = "--follow";
+    char* argv[] = {a0, a1, a2, nullptr};
+    int argc = 3;
+    const auto v = ConsumeBoolFlagOnce(&argc, argv, "follow");
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.status().message().find("--follow"), std::string::npos);
+  }
+  // A different flag sharing the prefix is NOT a duplicate.
+  {
+    char a0[] = "prog", a1[] = "--port", a2[] = "1", a3[] = "--portable";
+    char* argv[] = {a0, a1, a2, a3, nullptr};
+    int argc = 4;
+    const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(*v, 1u);
+  }
+}
+
+TEST(StrictFlagTest, MalformedValueErrorsNamingFlagAndToken) {
+  char a0[] = "prog", a1[] = "--port", a2[] = "-3";
+  char* argv[] = {a0, a1, a2, nullptr};
+  int argc = 3;
+  const auto v = ConsumeUintFlagOnce(&argc, argv, "port", 7);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("--port"), std::string::npos);
+  EXPECT_NE(v.status().message().find("-3"), std::string::npos);
+
+  char b0[] = "prog", b1[] = "--bandwidth=8MB";
+  char* argv2[] = {b0, b1, nullptr};
+  int argc2 = 2;
+  const auto w = ConsumeByteSizeFlagOnce(&argc2, argv2, "bandwidth", 0);
+  ASSERT_FALSE(w.ok());
+  EXPECT_NE(w.status().message().find("--bandwidth"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bdisk::runtime

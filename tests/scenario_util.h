@@ -92,8 +92,16 @@ inline Scenario ParseScenario(const std::filesystem::path& path) {
   return scenario;
 }
 
+/// A built fixture program plus the payload block size the planner chose
+/// (byte-domain specs only; slot-domain programs have no byte size and
+/// report 0). The wire tests need the size to feed a UDP server.
+struct BuiltProgram {
+  broadcast::BroadcastProgram program;
+  std::uint64_t block_size = 0;
+};
+
 // The same spec-to-program pipeline the planner runs.
-inline broadcast::BroadcastProgram BuildProgram(const std::string& spec_text) {
+inline BuiltProgram BuildProgramWithBlockSize(const std::string& spec_text) {
   auto spec = broadcast::ParseWorkloadSpec(spec_text);
   EXPECT_TRUE(spec.ok()) << spec.status();
   pinwheel::CompositeScheduler scheduler;
@@ -104,12 +112,18 @@ inline broadcast::BroadcastProgram BuildProgram(const std::string& spec_text) {
         spec->byte_files, spec->channel_bytes_per_second, scheduler,
         std::move(ladder));
     EXPECT_TRUE(choice.ok()) << choice.status();
-    return choice->build.program;
+    if (!choice.ok()) return {};
+    return {choice->build.program, choice->block_size};
   }
   auto result =
       broadcast::BuildGeneralizedProgram(spec->generalized_files, scheduler);
   EXPECT_TRUE(result.ok()) << result.status();
-  return result->program;
+  if (!result.ok()) return {};
+  return {result->program, 0};
+}
+
+inline broadcast::BroadcastProgram BuildProgram(const std::string& spec_text) {
+  return BuildProgramWithBlockSize(spec_text).program;
 }
 
 inline std::vector<std::string> DiscoverScenarioNames(

@@ -6,6 +6,7 @@
 // store_scenario_test.cc.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
@@ -125,6 +126,41 @@ TEST(FileBlockDeviceTest, CreateWriteReadReopen) {
     EXPECT_EQ(out[i], static_cast<std::uint8_t>(i));
   }
   std::remove(path.c_str());
+}
+
+TEST(FileBlockDeviceTest, TruncatedBackingFileIsTypedShortReadNotSpin) {
+  // Regression: a 0-byte pread (EOF inside the device extent, i.e. the
+  // backing file was truncated underneath us) must surface as a typed
+  // short read, not loop forever treating "no progress" as progress.
+  const std::string path = ::testing::TempDir() + "/bdisk_store_trunc_test";
+  auto dev = FileBlockDevice::Create(path, kBlockSize, 16);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  std::vector<std::uint8_t> buf(kBlockSize, 0xA7);
+  ASSERT_TRUE((*dev)->WriteBlock(15, buf.data()).ok());
+  // Shrink the file mid-block: block 4 now has half its bytes on disk.
+  ASSERT_EQ(::truncate(path.c_str(), 4 * kBlockSize + kBlockSize / 2), 0);
+  const IoResult r = (*dev)->ReadBlock(4, buf.data());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, IoError::kShortRead);
+  EXPECT_EQ(r.op, IoOp::kRead);
+  EXPECT_EQ(r.block, 4u);
+  EXPECT_EQ(r.bytes, kBlockSize / 2);
+  // A fully truncated-away block reads zero bytes before EOF.
+  const IoResult r2 = (*dev)->ReadBlock(10, buf.data());
+  EXPECT_EQ(r2.error, IoError::kShortRead);
+  EXPECT_EQ(r2.bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(IoResultTest, ShortWriteFactoryIsTypedWriteSide) {
+  // The write loop's 0-byte-pwrite guard reports through this factory;
+  // pin its shape so the error keeps naming the op, block, and progress.
+  const IoResult r = IoResult::Short(IoOp::kWrite, 7, 128);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, IoError::kShortWrite);
+  EXPECT_EQ(r.op, IoOp::kWrite);
+  EXPECT_EQ(r.block, 7u);
+  EXPECT_EQ(r.bytes, 128u);
 }
 
 TEST(FileBlockDeviceTest, OpenRejectsGeometryMismatch) {

@@ -67,6 +67,20 @@
 // caps the device size; omitted, the device is sized to fit the program.
 // An undersized cap surfaces the store's typed out-of-space error.
 //
+// --serve HOST:PORT broadcasts the planned program as real UDP datagrams
+// (one per slot; wire format src/net/wire.h), paced by a token bucket at
+// the spec's channel rate (--serve-bandwidth overrides; byte-size
+// grammar). --serve-horizon N sets the slot count (default: the channel
+// replay's horizon). With --channel, the datagrams pass through a
+// FaultingSocket: the channel model's per-slot verdicts become deliberate
+// drops and corruptions on the real wire.
+//
+// --listen HOST:PORT is the receiving side: it plans the same spec (for
+// the program geometry and block size), binds the endpoint (port 0 =
+// kernel-chosen, printed), tunes in mid-stream, reconstructs every file,
+// and verifies the bytes against the spec's deterministic contents —
+// exit status 0 iff every file reconstructed byte-exact.
+//
 // Example byte-domain spec:
 //   channel 196608
 //   file nav     bytes=16384 latency=0.5 faults=1
@@ -96,6 +110,10 @@
 #include "common/random.h"
 #include "faults/channel_spec.h"
 #include "ida/dispersal.h"
+#include "net/faulting_socket.h"
+#include "net/udp_client.h"
+#include "net/udp_server.h"
+#include "net/udp_socket.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
@@ -126,6 +144,11 @@ const char* g_store_path = nullptr;
 // 0 = size the device to fit the program; otherwise a hard capacity cap.
 std::uint64_t g_store_bytes = 0;
 const char* g_trace_out = nullptr;
+// --serve / --listen: the real UDP data plane.
+const char* g_serve_endpoint = nullptr;
+const char* g_listen_endpoint = nullptr;
+std::uint64_t g_serve_bandwidth = 0;  // 0 = the spec's channel rate.
+std::uint64_t g_serve_horizon = 0;    // 0 = tail + 50 periods.
 // Capture policy; tracing is active iff g_trace_out is set.
 bdisk::obs::TraceOptions g_trace_options;
 // Sinks accumulated by the replays, written as one Chrome trace at the
@@ -229,13 +252,12 @@ using bdisk::runtime::ParseUint64Token;
 // --store: materialize the planned program into a crash-safe persistent
 // block store at g_store_path, serve one full period back from disk, and
 // re-read every coded block bit-exact before reporting the store's stats.
-int MaterializeStore(const BroadcastProgram& planned,
-                     std::size_t payload_bytes) {
-  namespace store = bdisk::store;
-  constexpr std::size_t kDeviceBlock = 4096;
-
-  // Deterministic per-file contents (exactly m payloads each) so a later
-  // run against the same spec produces a byte-identical store.
+// Deterministic per-file contents (exactly m payloads each): the same
+// bytes for the same spec on every run, so --store re-materializations are
+// byte-identical and a --listen receiver can verify a --serve broadcast
+// from a different process (or machine) without a side channel.
+std::vector<std::vector<std::uint8_t>> DeterministicContents(
+    const BroadcastProgram& planned, std::size_t payload_bytes) {
   std::vector<std::vector<std::uint8_t>> contents(planned.file_count());
   for (FileIndex f = 0; f < planned.file_count(); ++f) {
     bdisk::Rng rng(0x5702Eull + f);
@@ -244,6 +266,16 @@ int MaterializeStore(const BroadcastProgram& planned,
       b = static_cast<std::uint8_t>(rng.Uniform(256));
     }
   }
+  return contents;
+}
+
+int MaterializeStore(const BroadcastProgram& planned,
+                     std::size_t payload_bytes) {
+  namespace store = bdisk::store;
+  constexpr std::size_t kDeviceBlock = 4096;
+
+  const std::vector<std::vector<std::uint8_t>> contents =
+      DeterministicContents(planned, payload_bytes);
 
   std::uint64_t device_blocks;
   if (g_store_bytes != 0) {
@@ -462,6 +494,157 @@ int ReplayAdaptive(const BroadcastProgram& planned) {
   return 0;
 }
 
+// --serve: broadcast the planned program as real UDP datagrams — one per
+// slot, paced by a token bucket at the spec's channel rate (or the
+// --serve-bandwidth override). With --channel, the datagrams pass through
+// a FaultingSocket first: the channel model's per-slot verdicts become
+// deliberately dropped or corrupted packets on the real wire.
+int ServeUdp(const BroadcastProgram& planned, std::size_t payload_bytes,
+             std::uint64_t default_rate) {
+  namespace net = bdisk::net;
+  auto endpoint = net::ParseEndpoint(g_serve_endpoint);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "error: --serve: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  const auto contents = DeterministicContents(planned, payload_bytes);
+  auto server =
+      bdisk::sim::BroadcastServer::Create(planned, contents, payload_bytes);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::uint64_t horizon = g_serve_horizon;
+  if (horizon == 0) {
+    std::uint64_t tail = 4 * planned.DataCycleLength();
+    for (const ProgramFile& pf : planned.files()) {
+      if (!pf.latency_slots.empty()) {
+        tail = std::max(tail, pf.latency_slots.front());
+      }
+    }
+    horizon = tail + 50 * planned.period() + 1;
+  }
+  auto socket = net::UdpSocket::Open();
+  if (!socket.ok()) {
+    std::fprintf(stderr, "serve: %s\n", socket.status().ToString().c_str());
+    return 1;
+  }
+  net::SocketSink socket_sink(&*socket, *endpoint);
+  std::unique_ptr<net::FaultingSocket> faulting;
+  net::WireSink* sink = &socket_sink;
+  if (g_channel != nullptr) {
+    faulting = std::make_unique<net::FaultingSocket>(g_channel, &socket_sink);
+    sink = faulting.get();
+  }
+  net::UdpServerOptions options;
+  options.horizon = horizon;
+  options.bandwidth_bytes_per_sec =
+      g_serve_bandwidth != 0 ? g_serve_bandwidth : default_rate;
+  std::printf("\nserving %llu slots to %s:%u at %llu bytes/s%s\n",
+              static_cast<unsigned long long>(horizon),
+              endpoint->host.c_str(), endpoint->port,
+              static_cast<unsigned long long>(
+                  options.bandwidth_bytes_per_sec),
+              g_channel != nullptr ? " (channel faults injected)" : "");
+  std::fflush(stdout);
+  auto stats = bdisk::net::ServeBroadcast(&*server, sink, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "serve: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const double wall_s = static_cast<double>(stats->wall_ns) / 1e9;
+  std::printf("served: %llu block + %llu idle + %llu end datagrams, "
+              "%llu bytes in %.2fs (%.0f bytes/s)\n",
+              static_cast<unsigned long long>(stats->block_datagrams),
+              static_cast<unsigned long long>(stats->idle_datagrams),
+              static_cast<unsigned long long>(stats->end_datagrams),
+              static_cast<unsigned long long>(stats->bytes), wall_s,
+              wall_s > 0 ? static_cast<double>(stats->bytes) / wall_s : 0.0);
+  if (faulting != nullptr) {
+    std::printf("channel on the wire: %llu dropped, %llu corrupted, "
+                "%llu forwarded\n",
+                static_cast<unsigned long long>(faulting->dropped()),
+                static_cast<unsigned long long>(faulting->corrupted()),
+                static_cast<unsigned long long>(faulting->forwarded()));
+  }
+  if (socket_sink.kernel_dropped() > 0) {
+    std::printf("note: %llu datagrams refused by the local send buffer\n",
+                static_cast<unsigned long long>(
+                    socket_sink.kernel_dropped()));
+  }
+  return 0;
+}
+
+// --listen: tune in to a broadcast of this same spec (mid-stream join is
+// fine — blocks are self-identifying), reconstruct every file, and verify
+// the bytes against the spec's deterministic contents.
+int ListenUdp(const BroadcastProgram& planned, std::size_t payload_bytes) {
+  namespace net = bdisk::net;
+  auto endpoint = net::ParseEndpoint(g_listen_endpoint);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "error: --listen: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  net::UdpClientOptions options;
+  options.bind_host = endpoint->host;
+  options.port = endpoint->port;
+  options.block_size = payload_bytes;
+  auto client = net::UdpClient::Create(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "listen: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  for (FileIndex f = 0; f < planned.file_count(); ++f) {
+    net::WireSession session;
+    session.file = f;
+    session.m = planned.files()[f].m;
+    session.n = planned.files()[f].n;
+    client->AddSession(session);  // No start slot: join mid-stream.
+  }
+  std::printf("\nlistening on %s:%u for %zu files...\n",
+              endpoint->host.c_str(), client->bound_port(),
+              planned.file_count());
+  std::fflush(stdout);
+  auto results = client->Run();
+  if (!results.ok()) {
+    std::fprintf(stderr, "listen: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  const auto expected = DeterministicContents(planned, payload_bytes);
+  const auto& stats = client->stats();
+  std::printf("heard %llu datagrams (%llu blocks, %llu idle)%s%s\n",
+              static_cast<unsigned long long>(stats.datagrams),
+              static_cast<unsigned long long>(stats.block_datagrams),
+              static_cast<unsigned long long>(stats.idle_datagrams),
+              stats.end_seen ? ", end of stream" : "",
+              stats.timed_out ? ", timed out" : "");
+  int rc = 0;
+  for (std::size_t f = 0; f < results->size(); ++f) {
+    const auto& r = (*results)[f];
+    if (!r.session.completed) {
+      std::printf("  %-16s INCOMPLETE (tuned in at slot %llu)\n",
+                  planned.files()[f].name.c_str(),
+                  static_cast<unsigned long long>(r.start_slot));
+      rc = 1;
+      continue;
+    }
+    const bool byte_exact = r.session.data == expected[f];
+    if (!byte_exact) rc = 1;
+    std::printf("  %-16s reconstructed in %llu slots from slot %llu "
+                "(%zu bytes, %s)\n",
+                planned.files()[f].name.c_str(),
+                static_cast<unsigned long long>(r.session.latency),
+                static_cast<unsigned long long>(r.start_slot),
+                r.session.data.size(),
+                byte_exact ? "byte-exact" : "MISMATCH vs spec contents");
+  }
+  return rc;
+}
+
 int Plan(const std::string& text, bool adaptive) {
   auto spec = ParseWorkloadSpec(text);
   if (!spec.ok()) {
@@ -503,6 +686,17 @@ int Plan(const std::string& text, bool adaptive) {
       const int rc = ReplayAdaptive(choice->build.program);
       if (rc != 0) return rc;
     }
+    if (g_serve_endpoint != nullptr) {
+      // Pace at the spec's modeled channel rate unless overridden: the
+      // wire then carries exactly the bandwidth the plan assumed.
+      const int rc = ServeUdp(choice->build.program, choice->block_size,
+                              spec->channel_bytes_per_second);
+      if (rc != 0) return rc;
+    }
+    if (g_listen_endpoint != nullptr) {
+      const int rc = ListenUdp(choice->build.program, choice->block_size);
+      if (rc != 0) return rc;
+    }
     return EmitTrace();
   }
 
@@ -527,6 +721,17 @@ int Plan(const std::string& text, bool adaptive) {
   }
   if (adaptive) {
     const int rc = ReplayAdaptive(result->program);
+    if (rc != 0) return rc;
+  }
+  if (g_serve_endpoint != nullptr) {
+    // Slot-domain specs model no byte rate: unpaced unless
+    // --serve-bandwidth is given (ServeUdp treats 0 as "as fast as the
+    // kernel accepts").
+    const int rc = ServeUdp(result->program, 64, g_serve_bandwidth);
+    if (rc != 0) return rc;
+  }
+  if (g_listen_endpoint != nullptr) {
+    const int rc = ListenUdp(result->program, 64);
     if (rc != 0) return rc;
   }
   return EmitTrace();
@@ -554,6 +759,39 @@ int main(int argc, char** argv) {
   const char* store_bytes_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "store-bytes");
   g_trace_out = bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-out");
+  const auto serve_flag =
+      bdisk::runtime::ConsumeStringFlagOnce(&argc, argv, "serve");
+  if (!serve_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 serve_flag.status().message().c_str());
+    return 2;
+  }
+  g_serve_endpoint = *serve_flag;
+  const auto listen_flag =
+      bdisk::runtime::ConsumeStringFlagOnce(&argc, argv, "listen");
+  if (!listen_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 listen_flag.status().message().c_str());
+    return 2;
+  }
+  g_listen_endpoint = *listen_flag;
+  const auto serve_bandwidth_flag =
+      bdisk::runtime::ConsumeByteSizeFlagOnce(&argc, argv,
+                                              "serve-bandwidth", 0);
+  if (!serve_bandwidth_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 serve_bandwidth_flag.status().message().c_str());
+    return 2;
+  }
+  g_serve_bandwidth = *serve_bandwidth_flag;
+  const auto serve_horizon_flag =
+      bdisk::runtime::ConsumeUintFlagOnce(&argc, argv, "serve-horizon", 0);
+  if (!serve_horizon_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 serve_horizon_flag.status().message().c_str());
+    return 2;
+  }
+  g_serve_horizon = *serve_horizon_flag;
   const char* trace_sample_token =
       bdisk::runtime::ConsumeStringFlag(&argc, argv, "trace-sample");
   const char* trace_stall_token =
@@ -567,7 +805,9 @@ int main(int argc, char** argv) {
                  "[--metrics-out PATH] [--metrics-interval N] "
                  "[--store PATH] [--store-bytes SIZE] "
                  "[--trace-out PATH] [--trace-sample 1/N] [--trace-stall S] "
-                 "[--trace-flight K] <spec-file | ->\n",
+                 "[--trace-flight K] [--serve HOST:PORT | --listen "
+                 "HOST:PORT] [--serve-bandwidth RATE] [--serve-horizon N] "
+                 "<spec-file | ->\n",
                  argv[0]);
     return 2;
   }
@@ -622,6 +862,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --trace-out requires --channel or --adaptive "
                  "(nothing to trace otherwise)\n");
+    return 2;
+  }
+  if (g_serve_endpoint != nullptr && g_listen_endpoint != nullptr) {
+    std::fprintf(stderr, "error: --serve and --listen are exclusive (run "
+                 "one process per role)\n");
+    return 2;
+  }
+  if ((g_serve_bandwidth != 0 || g_serve_horizon != 0) &&
+      g_serve_endpoint == nullptr) {
+    std::fprintf(stderr,
+                 "error: --serve-bandwidth/--serve-horizon require "
+                 "--serve\n");
     return 2;
   }
   if (metrics_interval_token != nullptr) {

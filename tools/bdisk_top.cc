@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/stream_tail.h"
 #include "runtime/flags.h"
 
 namespace {
@@ -82,46 +83,17 @@ void FoldLine(Stream* s, const std::string& line) {
   }
 }
 
-// Incremental tail state. --follow polls every 500 ms, and re-parsing the
-// whole stream on every tick makes the dashboard quadratic in run length;
-// the tailer instead remembers how many bytes it has folded and parses
-// only what the producer appended since. A trailing partial line (the
-// producer mid-write) is buffered until its newline arrives.
-struct Tail {
-  std::uint64_t offset = 0;  // Bytes of the file already consumed.
-  std::string pending;       // Incomplete trailing line.
-  Stream stream;
-};
-
-// Folds bytes appended to `path` since the last poll into the tail state.
-// A file smaller than the consumed offset means it was truncated or
-// replaced (e.g. a fresh run re-created it): the tail restarts from byte
-// zero. Returns false when the file cannot be opened.
-bool Poll(Tail* t, const char* path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  in.seekg(0, std::ios::end);
-  const auto end = in.tellg();
-  if (end < 0) return false;
-  const std::uint64_t size = static_cast<std::uint64_t>(end);
-  if (size < t->offset) *t = Tail{};
-  if (size == t->offset) return true;
-  in.seekg(static_cast<std::streamoff>(t->offset));
-  std::string buf(static_cast<std::size_t>(size - t->offset), '\0');
-  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-  buf.resize(static_cast<std::size_t>(in.gcount()));
-  t->offset += buf.size();
-  t->pending += buf;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t nl = t->pending.find('\n', start);
-    if (nl == std::string::npos) break;
-    FoldLine(&t->stream, t->pending.substr(start, nl - start));
-    start = nl + 1;
-  }
-  t->pending.erase(0, start);
-  return true;
-}
+// Incremental tailing is obs::StreamTail's job: --follow polls every
+// 500 ms, and re-parsing the whole stream on every tick makes the
+// dashboard quadratic in run length; the tailer remembers how many bytes
+// were folded and parses only what the producer appended since.
+//
+// Exactly-once framing: the authoritative Stream folds only completed
+// lines. A trailing line the producer has not newline-terminated yet is
+// *displayed* by folding it into a throwaway copy of the Stream each
+// redraw (RenderView below) — so the dashboard shows it immediately, and
+// when its newline finally arrives the authoritative fold parses it
+// exactly once (no drop while pending, no double-count on completion).
 
 void RenderRegistryFooter(const JsonValue& registry) {
   // Derived throughput: bytes counters over the matching phase-timer sums
@@ -214,16 +186,21 @@ void Render(const Stream& s, std::size_t max_rows, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool follow = bdisk::runtime::ConsumeBoolFlag(&argc, argv, "follow");
-  const char* rows_token =
-      bdisk::runtime::ConsumeStringFlag(&argc, argv, "rows");
-  std::uint64_t max_rows = 20;
-  if (rows_token != nullptr &&
-      !bdisk::runtime::ParseUint64Token(rows_token, &max_rows)) {
-    std::fprintf(stderr, "error: --rows must be a non-negative integer, "
-                 "got '%s'\n", rows_token);
+  const auto follow_flag =
+      bdisk::runtime::ConsumeBoolFlagOnce(&argc, argv, "follow");
+  if (!follow_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 follow_flag.status().message().c_str());
     return 2;
   }
+  const bool follow = *follow_flag;
+  const auto rows_flag =
+      bdisk::runtime::ConsumeUintFlagOnce(&argc, argv, "rows", 20);
+  if (!rows_flag.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows_flag.status().message().c_str());
+    return 2;
+  }
+  const std::uint64_t max_rows = *rows_flag;
   if (argc != 2) {
     std::fprintf(stderr, "usage: %s [--follow] [--rows N] stream.jsonl\n",
                  argv[0]);
@@ -231,17 +208,25 @@ int main(int argc, char** argv) {
   }
   const char* path = argv[1];
 
-  Tail tail;
+  bdisk::obs::StreamTail tail;
+  Stream stream;
   for (;;) {
-    const bool opened = Poll(&tail, path);
+    bool restarted = false;
+    const bool opened = tail.PollFile(
+        path, [&stream, &restarted](const std::string& line) {
+          if (restarted) {
+            // First line after a truncate/replace: the folded state
+            // describes a file that no longer exists.
+            stream = Stream{};
+            restarted = false;
+          }
+          FoldLine(&stream, line);
+        },
+        &restarted);
+    if (restarted) stream = Stream{};  // Restart with no complete line yet.
     if (!opened && !follow) {
       std::fprintf(stderr, "error: cannot open '%s'\n", path);
       return 1;
-    }
-    if (!follow && !tail.pending.empty()) {
-      // No trailing newline: fold the remainder as the last line.
-      FoldLine(&tail.stream, tail.pending);
-      tail.pending.clear();
     }
     if (follow) {
       // Home + clear-to-end redraw keeps the table in place while the
@@ -249,7 +234,16 @@ int main(int argc, char** argv) {
       std::printf("\033[H\033[J");
     }
     if (opened) {
-      Render(tail.stream, static_cast<std::size_t>(max_rows), path);
+      // Speculatively fold the unterminated trailing line (if any) into a
+      // throwaway view; the authoritative `stream` only ever folds on a
+      // newline, so the completed line is never counted twice.
+      if (!tail.pending().empty()) {
+        Stream view = stream;
+        FoldLine(&view, tail.pending());
+        Render(view, static_cast<std::size_t>(max_rows), path);
+      } else {
+        Render(stream, static_cast<std::size_t>(max_rows), path);
+      }
     } else {
       std::printf("bdisk_top: waiting for '%s'...\n", path);
     }

@@ -27,7 +27,7 @@ build="${1:-$root/build}"
 sha="$(git -C "$root" rev-parse --short HEAD)"
 out="$root/BENCH_${sha}.json"
 
-for bench in bench_gf_bulk bench_ida bench_store; do
+for bench in bench_gf_bulk bench_ida bench_store bench_net; do
   if [[ ! -x "$build/$bench" ]]; then
     echo "error: $build/$bench not built (configure with benchmarks on)" >&2
     exit 1
@@ -49,6 +49,9 @@ BDISK_GF_IMPL=generic capture "$build/bench_ida"
 # proof); the bench exits non-zero if RSS breaches the cap, which pipefail
 # turns into a failed capture.
 capture "$build/bench_store" --store-bytes 256MiB --cap-bytes 64MiB --reads 256 --path "$(mktemp -u)"
+# Wire-pacing datapoints (token-bucket accuracy per rate); the bench exits
+# non-zero past the ±5% gate, which pipefail turns into a failed capture.
+capture "$build/bench_net" --seconds 0.5
 
 # Second bench_ida run on the probed-best implementation, shielded from any
 # BDISK_GF_IMPL in the caller's environment. Skipped when the probe's best
